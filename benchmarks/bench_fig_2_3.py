@@ -1,0 +1,35 @@
+"""Fig 2.3 — Gain & Sensitivity across Reptile parameter choices (D3).
+
+Paper shape: relaxing (Cm, Qc) from strict (14, 60) to permissive
+(5, 45) raises sensitivity monotonically (0.38 -> 0.86) while Gain
+rises then saturates (0.30 -> ~0.72), the final (k+1, d=2) point
+trading a little Gain for the highest sensitivity.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter2 import run_fig_2_3
+
+MAX_READS = 2500
+
+
+def test_fig_2_3(benchmark, ch2_all):
+    ds = ch2_all["D3"]
+    rows = benchmark.pedantic(
+        run_fig_2_3,
+        args=(ds,),
+        kwargs={"max_reads": MAX_READS},
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Fig 2.3 (reproduction): Gain/Sensitivity vs parameters", rows)
+    sens = [r["sensitivity"] for r in rows]
+    gains = [r["gain"] for r in rows]
+    # Permissive settings recover more errors than the strictest point
+    # (the paper's monotone sensitivity climb, 0.38 -> 0.86).
+    assert max(sens) > sens[0]
+    assert max(sens[7:]) >= max(sens[:4])
+    # Gain rises from the strict corner and never goes negative
+    # (paper: 0.30 -> ~0.72, saturating).
+    assert min(gains) >= 0.0
+    assert max(gains) > gains[0]

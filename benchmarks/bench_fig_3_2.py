@@ -1,0 +1,51 @@
+"""Fig 3.2 — log10(FP+FN) vs threshold, Y-based vs T-based scores.
+
+Paper shape: U-shaped curves everywhere; the T curves sit at or below
+the Y curve across a wide threshold band, are flatter around their
+minimum (success less dependent on the threshold choice), and are
+shifted leftward (small thresholds already work well).
+"""
+
+import numpy as np
+from conftest import print_rows
+
+from repro.experiments.chapter3 import run_fig_3_2
+
+
+def test_fig_3_2(benchmark, ch3_core):
+    datasets = {"D2": ch3_core["D2"]}
+    curves = benchmark.pedantic(
+        run_fig_3_2,
+        args=(datasets,),
+        kwargs={"k": 10},
+        rounds=1,
+        iterations=1,
+    )["D2"]
+    thrs = curves["_thresholds"]
+    rows = []
+    for i in range(0, thrs.size, max(1, thrs.size // 16)):
+        rows.append(
+            {
+                "threshold": round(float(thrs[i]), 1),
+                **{
+                    lbl: round(float(curves[lbl][i]), 2)
+                    for lbl in ("Y", "tIED", "wIED", "tUED", "wUED")
+                },
+            }
+        )
+    print_rows("Fig 3.2 (reproduction): log10(FP+FN) vs threshold, D2", rows)
+
+    y = curves["Y"]
+    t = curves["tIED"]
+    # Both are U-shaped: interior minimum below both endpoints.
+    for c in (y, t):
+        assert c.min() < c[0] and c.min() < c[-1]
+    # T's minimum beats Y's.
+    assert t.min() < y.min()
+    # Flat bottom, the paper's phrasing: 'a wider range of thresholds
+    # often beat even the minimum error obtained under Y thresholding'.
+    beats_y_min = int((t <= y.min()).sum())
+    assert beats_y_min >= 5, beats_y_min
+    # Leftward shift: at small thresholds T already beats Y's best.
+    small = thrs <= np.quantile(thrs, 0.25)
+    assert t[small].min() <= y.min()

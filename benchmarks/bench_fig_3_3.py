@@ -1,0 +1,48 @@
+"""Fig 3.3 — histogram of the estimated read attempts T_l.
+
+Paper shape (E. coli dataset): a spike of erroneous k-mers near zero,
+a dominant single-copy peak near the coverage constant (~57 there),
+and a small two-copy bump at twice that; the mixture threshold falls
+in the valley between the spike and the single-copy peak.
+"""
+
+import numpy as np
+from conftest import print_rows
+
+from repro.experiments.chapter3 import run_fig_3_3
+
+
+def test_fig_3_3(benchmark, ch3_lowrep):
+    out = benchmark.pedantic(
+        run_fig_3_3,
+        args=(ch3_lowrep["D6"],),
+        kwargs={"k": 10},
+        rounds=1,
+        iterations=1,
+    )
+    T = out["T"]
+    hist, edges = out["hist"], out["bin_edges"]
+    rows = [
+        {
+            "bin": f"{edges[i]:.1f}-{edges[i + 1]:.1f}",
+            "count": int(hist[i]),
+        }
+        for i in range(0, len(hist), max(1, len(hist) // 20))
+    ]
+    print_rows("Fig 3.3 (reproduction): histogram of T_l (D6)", rows)
+    print(
+        f"threshold={out['threshold']:.2f} "
+        f"coverage_peak={out['coverage_peak']:.2f} G={out['n_groups']}"
+    )
+
+    # Spike near zero (erroneous kmers)...
+    assert hist[0] > 0.2 * hist.sum()
+    # ...and a genuine single-copy peak well separated from it.
+    peak = out["coverage_peak"]
+    assert peak > 5 * out["threshold"] / 5  # threshold below the peak
+    assert out["threshold"] < peak
+    near_peak = T[(T > 0.7 * peak) & (T < 1.3 * peak)]
+    assert near_peak.size > 0.1 * T.size
+    # The threshold separates the modes: few kmers sit right at it.
+    at_thr = T[(T > 0.8 * out["threshold"]) & (T < 1.2 * out["threshold"])]
+    assert at_thr.size < near_peak.size

@@ -1,0 +1,26 @@
+"""Table 2.1 — dataset characteristics of the D1-D6 analogues.
+
+Paper shape: six Illumina datasets, 36/47/101 bp reads, coverage 40x
+to 193x, error rates 0.6%-3.3%, with D6 carrying ~14% ambiguous reads.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter2 import run_table_2_1
+
+
+def test_table_2_1(benchmark, ch2_all):
+    rows = benchmark.pedantic(
+        run_table_2_1, args=(ch2_all,), rounds=1, iterations=1
+    )
+    print_rows("Table 2.1 (reproduction): dataset characteristics", rows)
+    names = [r["name"] for r in rows]
+    assert names == ["D1", "D2", "D3", "D4", "D5", "D6"]
+    by = {r["name"]: r for r in rows}
+    # Coverage ordering follows the paper: D1 > D2, D3 > D4.
+    assert by["D1"]["coverage"] > by["D2"]["coverage"]
+    assert by["D3"]["coverage"] > by["D4"]["coverage"]
+    # Error rates: D5/D6 are the noisier GA-II datasets.
+    assert by["D5"]["error_rate"] > by["D1"]["error_rate"]
+    # D6 has by far the most ambiguous (discarded-in-paper) reads.
+    assert by["D6"]["discarded"] > 5 * by["D2"]["discarded"]

@@ -1,0 +1,24 @@
+"""Table 2.2 — RMAP mapping rates per dataset.
+
+Paper shape: low-error 36 bp datasets map ~96-97% uniquely; the
+noisier D5/D6 fall to ~63-69% unique with a long unmapped tail; a few
+percent map ambiguously (repeats).
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter2 import run_table_2_2
+
+
+def test_table_2_2(benchmark, ch2_all):
+    rows = benchmark.pedantic(
+        run_table_2_2, args=(ch2_all,), rounds=1, iterations=1
+    )
+    print_rows("Table 2.2 (reproduction): RMAP mapping rates", rows)
+    by = {r["data"]: r for r in rows}
+    # Clean datasets map nearly completely and uniquely.
+    assert by["D1"]["unique_pct"] > 90
+    assert by["D2"]["unique_pct"] > 90
+    # The noisiest dataset maps worst (paper: D5 62.5% vs D1 96.5%).
+    assert by["D5"]["unique_pct"] < by["D1"]["unique_pct"]
+    assert by["D5"]["unmapped_pct"] >= by["D1"]["unmapped_pct"]

@@ -1,0 +1,26 @@
+"""Table 3.1 — REDEEM dataset characteristics.
+
+Paper shape: three synthetic genomes at 20/50/80% repeat content, 80x
+coverage, 36 bp reads, 2.2M reads each at 1 Mbp (here scaled down with
+proportions intact).
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter3 import run_table_3_1
+
+
+def test_table_3_1(benchmark, ch3_core):
+    rows = benchmark.pedantic(
+        run_table_3_1, args=(ch3_core,), rounds=1, iterations=1
+    )
+    print_rows("Table 3.1 (reproduction): REDEEM datasets", rows)
+    by = {r["name"]: r for r in rows}
+    assert [by[d]["repeat_pct"] for d in ("D1", "D2", "D3")] == [
+        20.0,
+        50.0,
+        80.0,
+    ]
+    for r in rows:
+        assert r["coverage"] == 80.0
+        assert r["len_avg"] == 36.0

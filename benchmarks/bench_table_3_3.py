@@ -1,0 +1,32 @@
+"""Table 3.3 — minimum FP+FN: thresholds on Y vs on REDEEM's T.
+
+Paper shape: with the true error distribution (tIED) REDEEM commits
+>95% fewer wrong predictions on the repetitive genomes; even wrong
+distributions (wIED/wUED) usually beat raw Y thresholding, and the
+advantage widens with repeat content (D1 -> D3).
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter3 import run_table_3_3
+
+
+def test_table_3_3(benchmark, ch3_core):
+    rows = benchmark.pedantic(
+        run_table_3_3,
+        args=(ch3_core,),
+        kwargs={"k": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("Table 3.3 (reproduction): min FP+FN, Y vs T", rows)
+    by = {r["data"]: r for r in rows}
+    for name in ("D1", "D2", "D3"):
+        r = by[name]
+        # The true distribution wins big (paper: >95% fewer WPs).
+        assert r["tIED"] < 0.5 * r["Y"], r
+        # The true uniform distribution also beats Y.
+        assert r["tUED"] < r["Y"], r
+    # The advantage widens with repetitiveness.
+    gap = lambda r: r["Y"] / max(r["tIED"], 1)
+    assert gap(by["D3"]) > gap(by["D1"])

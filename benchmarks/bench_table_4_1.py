@@ -1,0 +1,24 @@
+"""Table 4.1 — metagenomic dataset characteristics.
+
+Paper shape: three nested samples of one 16S pool (312k / 1.74M /
+5.66M reads, ratio ~1 : 5.6 : 18), read lengths 167-894 bp averaging
+~371-375 bp.
+"""
+
+from conftest import print_rows
+
+from repro.experiments.chapter4 import run_table_4_1
+
+
+def test_table_4_1(benchmark, ch4_samples_fixture):
+    rows = benchmark.pedantic(
+        run_table_4_1, args=(ch4_samples_fixture,), rounds=1, iterations=1
+    )
+    print_rows("Table 4.1 (reproduction): metagenome samples", rows)
+    by = {r["name"]: r for r in rows}
+    # Size ratio follows the paper's 1 : 5.6 : 18.
+    assert abs(by["medium"]["n_reads"] / by["small"]["n_reads"] - 5.6) < 0.3
+    assert abs(by["large"]["n_reads"] / by["small"]["n_reads"] - 18.0) < 0.5
+    for r in rows:
+        assert 167 <= r["len_min"] <= r["len_avg"] <= r["len_max"] <= 894
+        assert 330 <= r["len_avg"] <= 420  # paper: 371-375 bp

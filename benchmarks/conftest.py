@@ -1,0 +1,63 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Datasets are built once per session at 'bench scale' — large enough
+for the paper's qualitative shapes to appear, small enough that the
+whole suite finishes in minutes (see DESIGN.md on scaling).  Every
+bench prints the reproduced table so the tee'd output doubles as the
+data behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_table
+from repro.experiments import (
+    chapter2_datasets,
+    chapter3_datasets,
+    chapter4_samples,
+)
+
+#: Genome scale for Chapter 2 datasets (paper: 3.6-4.6 Mbp).
+CH2_SCALE = 6_000
+#: Coverage multiplier for Chapter 2 (1.0 = the paper's coverages).
+CH2_COV = 1.0
+#: Genome scale for Chapter 3 datasets (paper: 0.4-4.6 Mbp).
+CH3_SCALE = 40_000
+#: Base read count for Chapter 4 samples (paper: 312k-5.6M).
+CH4_BASE_READS = 500
+
+
+@pytest.fixture(scope="session")
+def ch2_all():
+    return chapter2_datasets(scale=CH2_SCALE, coverage_scale=CH2_COV)
+
+
+@pytest.fixture(scope="session")
+def ch2_small():
+    """D2 and D4 only — the cheaper correction comparisons."""
+    return chapter2_datasets(
+        names=["D2", "D4"], scale=CH2_SCALE, coverage_scale=CH2_COV
+    )
+
+
+@pytest.fixture(scope="session")
+def ch3_core():
+    """D1-D3: the 20/50/80%-repeat trio driving Tables 3.3/3.4."""
+    return chapter3_datasets(names=["D1", "D2", "D3"], scale=CH3_SCALE)
+
+
+@pytest.fixture(scope="session")
+def ch3_lowrep():
+    """D6: the low-repeat, deep-coverage E. coli-like dataset."""
+    return chapter3_datasets(names=["D6"], scale=CH3_SCALE)
+
+
+@pytest.fixture(scope="session")
+def ch4_samples_fixture():
+    return chapter4_samples(base_reads=CH4_BASE_READS)
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(rows))

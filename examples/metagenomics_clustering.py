@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Metagenomic read clustering with CLOSET (Chapter 4).
+
+A 16S rRNA survey of an environmental sample: thousands of 454-style
+reads from unknown organisms must be grouped into taxonomic units
+without a reference database.  CLOSET avoids the O(n²) all-pairs
+comparison via k-mer sketching, validates candidate pairs with an
+exact containment similarity, and clusters by incremental γ-quasi-
+clique enumeration at a *decreasing sequence* of similarity thresholds
+— one clustering per taxonomic rank.
+
+This example:
+
+1. simulates a taxonomy (phylum → family → genus → species) and a
+   log-normal-abundance read pool, with every read's true labels kept;
+2. runs CLOSET on both backends — the plain vectorized one and the
+   MapReduce pipeline (Tasks 1-8 of Sec. 4.4) with multiprocess
+   workers;
+3. evaluates cluster quality per rank with purity and the Adjusted
+   Rand Index, identifying which threshold best separates each rank
+   (the Table 4.4 methodology).
+
+Run:  python examples/metagenomics_clustering.py
+"""
+
+import numpy as np
+
+from repro.core.closet import ClosetClusterer, ClosetParams, SketchParams
+from repro.eval import cluster_purity, clustering_ari, format_table
+from repro.simulate import (
+    RANKS,
+    TaxonomySpec,
+    simulate_metagenome,
+    simulate_taxonomy,
+)
+
+THRESHOLDS = [0.9, 0.7, 0.5, 0.35]
+
+
+def main() -> None:
+    rng = np.random.default_rng(2)
+
+    # --- 1. sample --------------------------------------------------
+    tax_spec = TaxonomySpec(
+        gene_length=1200,
+        branching={"phylum": 3, "family": 2, "genus": 2, "species": 3},
+    )
+    taxonomy = simulate_taxonomy(tax_spec, rng)
+    sample = simulate_metagenome(
+        taxonomy, 800, rng, read_length_mean=350.0, error_rate=0.01
+    )
+    print(f"sample: {sample.n_reads} reads from "
+          f"{taxonomy.n_species} species "
+          f"({sample.reads.lengths.min()}-{sample.reads.lengths.max()} bp)")
+
+    # --- 2. cluster -------------------------------------------------------
+    params = ClosetParams(
+        sketch=SketchParams(k=14, modulus=8, rounds=3, cmax=300, cmin=0.3)
+    )
+    result = ClosetClusterer(params).run(sample.reads, thresholds=THRESHOLDS)
+    er = result.edge_result
+    total_pairs = sample.n_reads * (sample.n_reads - 1) // 2
+    print(f"sketching proposed {er.n_unique} candidate pairs "
+          f"({100 * er.n_unique / total_pairs:.2f}% of all {total_pairs}); "
+          f"{er.n_confirmed} edges confirmed")
+
+    # The same clustering through the MapReduce pipeline, in parallel.
+    mr = ClosetClusterer(params).run(
+        sample.reads, thresholds=[0.5], backend="mapreduce", n_workers=2
+    )
+    agree = set(map(tuple, mr.edge_result.edges.tolist())) == set(
+        map(tuple, er.edges.tolist())
+    )
+    print(f"mapreduce backend: {mr.edge_result.n_confirmed} edges "
+          f"({'identical to' if agree else 'differs from'} plain backend); "
+          f"stage seconds: { {k: round(v, 2) for k, v in mr.stage_seconds.items()} }")
+
+    # --- 3. evaluate per rank ----------------------------------------------
+    rows = []
+    for t in THRESHOLDS:
+        clusters = result.clusters[t]
+        row = {"threshold": t, "clusters": len(clusters)}
+        for rank in RANKS:
+            labels = sample.true_labels(rank)
+            row[f"ARI({rank})"] = round(clustering_ari(clusters, labels), 3)
+        row["purity(genus)"] = round(
+            cluster_purity(clusters, sample.true_labels("genus")), 3
+        )
+        rows.append(row)
+    print()
+    print(format_table(rows))
+
+    for rank in RANKS:
+        best = max(rows, key=lambda r: r[f"ARI({rank})"])
+        print(f"best threshold for {rank:8s}: {best['threshold']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Repeat-aware error detection with REDEEM (Chapter 3).
+
+The motivating problem: in a repeat-rich genome, an erroneous k-mer
+near a high-multiplicity repeat is observed many times — thresholding
+raw counts Y misclassifies it, and conventional correctors either miss
+it or 'fix' genuine repeat variants.  REDEEM instead estimates, by EM
+over the k-mer Hamming graph, how many sequencing attempts *targeted*
+each k-mer (T), and thresholds that.
+
+This example:
+
+1. builds a genome where 60% of the sequence is spanned by ~100-copy
+   repeats and simulates a deep Illumina run;
+2. fits REDEEM with the platform's position-specific error model;
+3. compares detection quality: thresholding Y vs thresholding T
+   (reproducing Table 3.3's headline at example scale);
+4. infers the threshold automatically from the T histogram's mixture
+   structure (Sec. 3.7) and corrects the reads.
+
+Run:  python examples/repeat_aware_correction.py
+"""
+
+import numpy as np
+
+from repro.core.redeem import RedeemCorrector, kmer_error_model_from_read_model
+from repro.eval import detection_curve, evaluate_correction, genomic_truth
+from repro.kmer import spectrum_from_sequence
+from repro.simulate import (
+    illumina_like_model,
+    repeat_spec,
+    simulate_genome,
+    simulate_reads,
+)
+
+K = 10
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+
+    # --- 1. repeat-rich genome + reads -----------------------------
+    spec = repeat_spec(40_000, repeat_fraction=0.6, unit_length=150)
+    genome = simulate_genome(spec, rng)
+    mult = spec.repeat_families[0].multiplicity
+    print(f"genome: {genome.length} bp, "
+          f"{100 * spec.repeat_fraction:.0f}% repeats "
+          f"(~{mult} copies per family)")
+    model = illumina_like_model(36, base_rate=0.008, end_multiplier=3.0)
+    sim = simulate_reads(genome, 36, model, rng, coverage=80.0)
+    print(f"reads: {sim.n_reads} x 36 bp at 80x, "
+          f"{100 * sim.observed_error_rate():.2f}% error")
+
+    # --- 2. fit REDEEM ------------------------------------------------
+    kmer_model = kmer_error_model_from_read_model(model, K)
+    redeem = RedeemCorrector.fit(sim.reads, k=K, error_model=kmer_model)
+    print(f"EM converged in {redeem.model.n_iter} iterations over "
+          f"{redeem.spectrum.n_kmers} observed {K}-mers")
+
+    # --- 3. detection: Y vs T ------------------------------------------
+    genome_kmers = spectrum_from_sequence(genome.codes, K, both_strands=True)
+    truth = genomic_truth(redeem.spectrum.kmers, genome_kmers)
+    thresholds = np.linspace(0.0, 80.0, 161)
+    wrong_y = detection_curve(
+        redeem.Y.astype(float), truth, thresholds
+    ).min_wrong_predictions()
+    wrong_t = detection_curve(redeem.T, truth, thresholds).min_wrong_predictions()
+    print(f"min FP+FN thresholding observed counts Y : {wrong_y}")
+    print(f"min FP+FN thresholding REDEEM attempts T : {wrong_t}")
+    assert wrong_t < wrong_y
+
+    # --- 4. automatic threshold + correction ----------------------------
+    thr, fit = redeem.infer_threshold()
+    print(f"mixture-inferred threshold: {thr:.2f} "
+          f"(single-copy coverage peak at T≈{fit.coverage_peak:.1f})")
+    corrected, stats = redeem.correct_with_stats(sim.reads)
+    m = evaluate_correction(sim.reads.codes, corrected.codes, sim.true_codes)
+    print(f"corrected {stats['n_bases_changed']} bases in "
+          f"{stats['n_flagged_reads']} flagged reads")
+    print(f"gain = {m.gain:.3f}, specificity = {m.specificity:.5f}")
+
+
+if __name__ == "__main__":
+    main()

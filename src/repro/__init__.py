@@ -1,0 +1,22 @@
+"""repro — reproduction of "Error Correction and Clustering Algorithms
+for Next Generation Sequencing" (Xiao Yang, Iowa State University, 2011).
+
+Three systems from the dissertation, plus every substrate they need:
+
+- :mod:`repro.core.reptile` — Reptile, tile-based short-read error
+  correction for low-repeat genomes (Chapter 2);
+- :mod:`repro.core.redeem` — REDEEM, repeat-aware error detection and
+  correction via EM over the k-mer Hamming graph (Chapter 3);
+- :mod:`repro.core.closet` — CLOSET, sketching + quasi-clique
+  metagenomic read clustering on a MapReduce engine (Chapter 4).
+
+Substrates: :mod:`repro.seq` (encodings), :mod:`repro.io` (FASTA/FASTQ,
+ReadSet), :mod:`repro.simulate` (genomes, error models, read and
+metagenome simulators), :mod:`repro.kmer` (spectra, neighborhoods,
+tiles), :mod:`repro.mapping` (RMAP-like mapper), :mod:`repro.mapreduce`
+(local MapReduce engine), :mod:`repro.baselines` (SHREC-like and
+spectral correctors), :mod:`repro.eval` (correction, detection and
+clustering metrics).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""De Bruijn graph assembly substrate: the downstream consumer that
+motivates error correction (Sec. 1.1, Chapter 5)."""
+
+from .graph import DeBruijnGraph, build_debruijn_graph
+from .unitigs import assembly_stats, extract_unitigs, genome_recovery
+
+__all__ = [
+    "DeBruijnGraph",
+    "build_debruijn_graph",
+    "extract_unitigs",
+    "assembly_stats",
+    "genome_recovery",
+]

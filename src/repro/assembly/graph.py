@@ -1,0 +1,91 @@
+"""De Bruijn graph over a read set.
+
+The thesis motivates error correction by its effect on graph-based
+assembly: spurious k-mers from errors blow up the de Bruijn graph and
+cause mis-assemblies (Sec. 1.1), and Chapter 5 proposes studying 'the
+association between the assembly results and the ratio of TP/FP'.
+This substrate makes that study possible: nodes are (k-1)-mers, edges
+are observed k-mers (with multiplicities), and the assembler extracts
+unitigs — maximal non-branching paths.
+
+Everything is array-based: the graph is two sorted edge tables
+(by source and by target node code) built with one ``np.unique`` pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.readset import ReadSet
+from ..kmer.spectrum import spectrum_from_reads
+from ..seq.encoding import kmer_mask
+
+
+@dataclass
+class DeBruijnGraph:
+    """Edge-centric de Bruijn graph: one entry per distinct k-mer."""
+
+    k: int
+    #: Sorted distinct k-mer codes (the edges).
+    kmers: np.ndarray
+    #: Multiplicity of each k-mer in the reads.
+    counts: np.ndarray
+    #: Source (k-1)-mer code of each edge (prefix).
+    src: np.ndarray
+    #: Target (k-1)-mer code of each edge (suffix).
+    dst: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return self.kmers.size
+
+    def node_degrees(self) -> tuple[dict, dict]:
+        """(out_degree, in_degree) dicts over node codes."""
+        out_deg: dict[int, int] = {}
+        in_deg: dict[int, int] = {}
+        for s in self.src.tolist():
+            out_deg[s] = out_deg.get(s, 0) + 1
+        for t in self.dst.tolist():
+            in_deg[t] = in_deg.get(t, 0) + 1
+        return out_deg, in_deg
+
+    def out_edges(self, node: int) -> np.ndarray:
+        """Indices of edges leaving ``node`` (via the src-sorted view)."""
+        lo = int(np.searchsorted(self._src_sorted, node, side="left"))
+        hi = int(np.searchsorted(self._src_sorted, node, side="right"))
+        return self._src_order[lo:hi]
+
+    def in_edges(self, node: int) -> np.ndarray:
+        lo = int(np.searchsorted(self._dst_sorted, node, side="left"))
+        hi = int(np.searchsorted(self._dst_sorted, node, side="right"))
+        return self._dst_order[lo:hi]
+
+    def __post_init__(self) -> None:
+        self._src_order = np.argsort(self.src, kind="stable")
+        self._src_sorted = self.src[self._src_order]
+        self._dst_order = np.argsort(self.dst, kind="stable")
+        self._dst_sorted = self.dst[self._dst_order]
+
+
+def build_debruijn_graph(
+    reads: ReadSet,
+    k: int,
+    min_count: int = 1,
+    both_strands: bool = False,
+) -> DeBruijnGraph:
+    """Build the graph from all read k-mers with count >= min_count.
+
+    ``min_count > 1`` is the classic spectrum filter assemblers apply;
+    comparing ``min_count=1`` graphs before/after correction shows the
+    error-k-mer blowup directly.
+    """
+    spectrum = spectrum_from_reads(reads, k, both_strands=both_strands)
+    keep = spectrum.counts >= min_count
+    kmers = spectrum.kmers[keep]
+    counts = spectrum.counts[keep]
+    sub_mask = np.uint64(kmer_mask(k - 1))
+    src = (kmers >> np.uint64(2)).astype(np.uint64)
+    dst = (kmers & sub_mask).astype(np.uint64)
+    return DeBruijnGraph(k=k, kmers=kmers, counts=counts, src=src, dst=dst)

@@ -1,0 +1,130 @@
+"""Unitig extraction: maximal non-branching paths of the de Bruijn
+graph, the contigs every graph assembler starts from."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.encoding import unpack_kmer
+from .graph import DeBruijnGraph
+
+
+def _edge_to_codes(kmer: int, k: int) -> np.ndarray:
+    return unpack_kmer(int(kmer), k)
+
+
+def extract_unitigs(graph: DeBruijnGraph, min_length: int | None = None) -> list[np.ndarray]:
+    """All maximal non-branching paths, as base-code arrays.
+
+    A path extends through a node only when that node has in-degree 1
+    and out-degree 1 (unambiguous); branch nodes terminate unitigs.
+    Cycles of unambiguous nodes are emitted once.  ``min_length``
+    drops short unitigs (contig assemblers usually report >= 2k-1 bp).
+    """
+    k = graph.k
+    if min_length is None:
+        min_length = k
+    out_deg, in_deg = graph.node_degrees()
+
+    def unambiguous(node: int) -> bool:
+        return out_deg.get(node, 0) == 1 and in_deg.get(node, 0) == 1
+
+    visited = np.zeros(graph.n_edges, dtype=bool)
+    unitigs: list[np.ndarray] = []
+
+    def walk_forward(edge_idx: int) -> list[int]:
+        """Collect edge indices forward while the junction is clean."""
+        chain = [edge_idx]
+        cur = int(graph.dst[edge_idx])
+        while unambiguous(cur):
+            nxt_edges = graph.out_edges(cur)
+            nxt = int(nxt_edges[0])
+            if visited[nxt] or nxt in chain:
+                break
+            chain.append(nxt)
+            visited[nxt] = True
+            cur = int(graph.dst[nxt])
+        return chain
+
+    # Start unitigs at edges whose source is a branch/tip node.
+    order = np.argsort(-graph.counts, kind="stable")
+    for edge_idx in order.tolist():
+        if visited[edge_idx]:
+            continue
+        src = int(graph.src[edge_idx])
+        if unambiguous(src):
+            continue  # interior edge; will be reached from a start
+        visited[edge_idx] = True
+        chain = walk_forward(edge_idx)
+        unitigs.append(_chain_to_codes(graph, chain))
+
+    # Remaining unvisited edges belong to clean cycles.
+    for edge_idx in range(graph.n_edges):
+        if visited[edge_idx]:
+            continue
+        visited[edge_idx] = True
+        chain = walk_forward(edge_idx)
+        unitigs.append(_chain_to_codes(graph, chain))
+
+    return [u for u in unitigs if u.size >= min_length]
+
+
+def _chain_to_codes(graph: DeBruijnGraph, chain: list[int]) -> np.ndarray:
+    k = graph.k
+    first = _edge_to_codes(graph.kmers[chain[0]], k)
+    if len(chain) == 1:
+        return first
+    tail = np.empty(len(chain) - 1, dtype=np.uint8)
+    for i, e in enumerate(chain[1:]):
+        tail[i] = np.uint8(graph.kmers[e] & np.uint64(3))
+    return np.concatenate([first, tail])
+
+
+def assembly_stats(unitigs: list[np.ndarray]) -> dict:
+    """Contig statistics: count, total bases, longest, N50."""
+    if not unitigs:
+        return {"n_contigs": 0, "total_bases": 0, "longest": 0, "n50": 0}
+    lengths = np.sort(np.array([u.size for u in unitigs]))[::-1]
+    total = int(lengths.sum())
+    csum = np.cumsum(lengths)
+    n50 = int(lengths[int(np.searchsorted(csum, total / 2))])
+    return {
+        "n_contigs": int(lengths.size),
+        "total_bases": total,
+        "longest": int(lengths[0]),
+        "n50": n50,
+    }
+
+
+def genome_recovery(
+    unitigs: list[np.ndarray], genome_codes: np.ndarray, k: int
+) -> dict:
+    """How faithfully the unitigs tile the genome.
+
+    ``covered`` — fraction of genome k-mers present in some unitig;
+    ``spurious`` — fraction of unitig k-mers absent from the genome
+    (mis-assembly / error content).
+    """
+    from ..kmer.spectrum import spectrum_from_sequence
+    from ..seq.encoding import kmer_codes_from_sequence, revcomp_kmer_codes
+
+    gspec = spectrum_from_sequence(
+        np.asarray(genome_codes), k, both_strands=True
+    )
+    contig_kmers = []
+    for u in unitigs:
+        if u.size >= k:
+            contig_kmers.append(kmer_codes_from_sequence(u, k))
+    if not contig_kmers:
+        return {"covered": 0.0, "spurious": 0.0}
+    ck = np.unique(np.concatenate(contig_kmers))
+    in_genome = gspec.contains(ck)
+    # Coverage over the genome's own (canonical-ish) kmer set.
+    both = np.unique(
+        np.concatenate([ck, revcomp_kmer_codes(ck, k)])
+    )
+    covered = gspec.contains(both).sum() / max(gspec.n_kmers, 1)
+    return {
+        "covered": float(min(covered, 1.0)),
+        "spurious": float((~in_genome).mean()),
+    }

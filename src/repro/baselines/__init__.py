@@ -1,0 +1,36 @@
+"""Baselines: SHREC-like and spectral (SAP) correctors, Cd-hit-like
+greedy clustering, and database classification."""
+
+from .cdhit import (
+    GreedyClusteringResult,
+    greedy_length_clustering,
+    length_bias_score,
+)
+from .classify import (
+    UNCLASSIFIED,
+    ReferenceDatabase,
+    classification_report,
+    classify_reads,
+)
+from .freclu import FrecluCorrector, FrecluResult
+from .shrec import ShrecCorrector, ShrecParams
+from .shrec454 import Shrec454Corrector
+from .spectral import SpectralCorrector, SpectralParams, naive_y_scores
+
+__all__ = [
+    "ShrecCorrector",
+    "ShrecParams",
+    "SpectralCorrector",
+    "SpectralParams",
+    "naive_y_scores",
+    "GreedyClusteringResult",
+    "greedy_length_clustering",
+    "length_bias_score",
+    "ReferenceDatabase",
+    "classify_reads",
+    "classification_report",
+    "UNCLASSIFIED",
+    "FrecluCorrector",
+    "FrecluResult",
+    "Shrec454Corrector",
+]

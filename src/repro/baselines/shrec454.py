@@ -1,0 +1,154 @@
+"""Indel-capable SHREC extension (Salmela 2010, as described in
+Sec. 1.2) — the thesis's open issue #4 made concrete.
+
+In the suffix-trie picture an insertion error at a substring's last
+position is repaired by comparing the node with its parent's siblings
+(one letter shorter) and a deletion by comparing with its sibling's
+children (one longer).  In the level-array realization used here each
+weak window tries three local repairs —
+
+- substitute its last base (the original SHREC move),
+- delete its last base (the read carried an inserted call),
+- insert a base after it (the read lost a call),
+
+and keeps the repair that most reduces the number of weak windows in
+the surrounding region.  One repair per site per iteration, exactly
+like the original's one-error-per-window regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..io.readset import PAD, ReadSet
+from ..seq.encoding import kmer_codes_from_sequence, valid_kmer_mask
+from .shrec import ShrecCorrector, ShrecParams
+
+
+class Shrec454Corrector(ShrecCorrector):
+    """SHREC with insertion/deletion repair for 454-style reads."""
+
+    def __init__(self, reads: ReadSet, params: ShrecParams):
+        super().__init__(reads, params)
+
+    # -- local scoring --------------------------------------------------
+    def _weak_in_region(
+        self, codes: np.ndarray, level: int, lo: int, hi: int
+    ) -> int:
+        """#weak windows intersecting [lo, hi) of one read."""
+        L = codes.size
+        if L < level:
+            return 0
+        wlo = max(0, lo - level + 1)
+        whi = min(L - level + 1, hi)
+        if whi <= wlo:
+            return 0
+        region = codes[wlo : whi + level - 1]
+        safe = np.where(region < 4, region, 0)
+        windows = kmer_codes_from_sequence(safe, level)
+        valid = valid_kmer_mask(region[None, :], level)[0]
+        counts = self._spectra[level].count(windows)
+        weak = valid & (counts < self._weak_threshold[level])
+        return int(weak.sum())
+
+    def _repair_candidates(
+        self, codes: np.ndarray, j: int
+    ) -> list[np.ndarray]:
+        """Modified reads: substitutions, deletion, insertions at j."""
+        out: list[np.ndarray] = []
+        cur = int(codes[j])
+        for b in range(4):
+            if b == cur:
+                continue
+            cand = codes.copy()
+            cand[j] = b
+            out.append(cand)
+        out.append(np.delete(codes, j))
+        for b in range(4):
+            out.append(np.insert(codes, j + 1, np.uint8(b)))
+        return out
+
+    def _correct_read_indel(
+        self, codes: np.ndarray, level: int, max_repairs: int = 6
+    ) -> np.ndarray:
+        """Greedy local repair sweep over one read; returns new codes.
+
+        Weak windows are visited left to right; a window whose repairs
+        all fail is skipped (its index is remembered) so the sweep
+        terminates.  A successful repair may change the read length,
+        which invalidates remembered indices — they are cleared.
+        """
+        repairs = 0
+        skipped: set[int] = set()
+        guard = 0
+        while repairs < max_repairs and guard < 8 * max(codes.size, 1):
+            guard += 1
+            L = codes.size
+            if L < level:
+                break
+            safe = np.where(codes < 4, codes, 0)
+            windows = kmer_codes_from_sequence(safe, level)
+            valid = valid_kmer_mask(codes[None, :], level)[0]
+            counts = self._spectra[level].count(windows)
+            weak = np.flatnonzero(
+                valid & (counts < self._weak_threshold[level])
+            )
+            weak = [w for w in weak.tolist() if w not in skipped]
+            if not weak:
+                break
+            w = weak[0]
+            j = w + level - 1
+            # Score to the read end: an indel shifts the frame, so a
+            # *correct* indel repair heals every downstream window at
+            # once — the signature that separates it from a lucky
+            # substitution.
+            lo = max(0, j - level)
+            baseline = self._weak_in_region(codes, level, lo, L)
+            best = None
+            for cand in self._repair_candidates(codes, j):
+                score = self._weak_in_region(cand, level, lo, cand.size)
+                if score < baseline and (best is None or score < best[0]):
+                    best = (score, cand)
+            if best is None:
+                skipped.add(w)
+                continue
+            if best[1].size != codes.size:
+                skipped.clear()
+            codes = best[1]
+            repairs += 1
+        return codes
+
+    def correct_variable(self, reads: ReadSet) -> ReadSet:
+        """Indel-aware correction; read lengths may change.
+
+        Each iteration runs the indel repair *before* the parent's
+        substitution pass, on both strands.  Order matters: the
+        substitution cascade happily rewrites a frame-shifted suffix
+        base by base (leaving the read at the wrong length), which
+        destroys the weak-window signature the indel repair needs —
+        so indels get first claim on every weak region.
+        """
+        from ..seq.alphabet import reverse_complement_codes
+
+        level = self.params.levels[0]
+        out_codes: list[np.ndarray] = []
+        for i in range(reads.n_reads):
+            codes = reads.read_codes(i).copy()
+            for _ in range(self.params.iterations):
+                before = codes.copy()
+                codes = self._correct_read_indel(codes, level)
+                self._correct_level(codes, level)
+                rc = reverse_complement_codes(codes.copy())
+                rc = self._correct_read_indel(rc, level)
+                self._correct_level(rc, level)
+                codes = reverse_complement_codes(rc)
+                if codes.size == before.size and (codes == before).all():
+                    break
+            out_codes.append(codes)
+        lmax = max((c.size for c in out_codes), default=0)
+        mat = np.full((reads.n_reads, lmax), PAD, dtype=np.uint8)
+        lengths = np.empty(reads.n_reads, dtype=np.int32)
+        for i, c in enumerate(out_codes):
+            mat[i, : c.size] = c
+            lengths[i] = c.size
+        return ReadSet(codes=mat, lengths=lengths)

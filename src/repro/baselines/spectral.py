@@ -1,0 +1,108 @@
+"""Spectral-alignment (SAP) baseline corrector (Pevzner & Tang 2001;
+greedy Hamming-only variant of Chaisson et al. 2009, Sec. 1.2).
+
+A k-mer occurring fewer than ``M`` times is *weak*; reads containing
+weak k-mers are greedily edited — one substitution at a time, lowest
+quality (or most weak-covered) base first — as long as each edit
+strictly reduces the number of weak k-mers.  Also exports the naive
+``Y < M`` detector used as the baseline column of Table 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.readset import ReadSet
+from ..kmer.spectrum import KmerSpectrum, spectrum_from_reads
+from ..seq.encoding import kmer_codes_from_sequence, valid_kmer_mask
+
+
+@dataclass
+class SpectralParams:
+    k: int = 12
+    #: Solidity threshold M: count >= M is solid.
+    m: int = 3
+    max_edits_per_read: int = 4
+
+
+class SpectralCorrector:
+    """Greedy SAP corrector over a fixed k-spectrum."""
+
+    def __init__(self, reads: ReadSet, params: SpectralParams):
+        self.params = params
+        self.spectrum: KmerSpectrum = spectrum_from_reads(
+            reads, params.k, both_strands=True
+        )
+
+    def _weak_profile(self, codes: np.ndarray) -> tuple[int, np.ndarray]:
+        """(#weak windows, per-position weak coverage) for one read."""
+        k = self.params.k
+        safe = np.where(codes < 4, codes, 0)
+        windows = kmer_codes_from_sequence(safe, k)
+        valid = valid_kmer_mask(codes[None, :], k)[0]
+        counts = self.spectrum.count(windows)
+        weak = valid & (counts < self.params.m)
+        cover = np.zeros(codes.size, dtype=np.int32)
+        for w in np.flatnonzero(weak):
+            cover[w : w + k] += 1
+        return int(weak.sum()), cover
+
+    def _correct_read(self, codes: np.ndarray, quals: np.ndarray | None) -> int:
+        n_weak, cover = self._weak_profile(codes)
+        edits = 0
+        while n_weak > 0 and edits < self.params.max_edits_per_read:
+            # Candidate positions: covered by weak kmers, worst first
+            # (lowest quality when available, else deepest weak cover).
+            cand = np.flatnonzero((cover > 0) & (codes < 4))
+            if cand.size == 0:
+                break
+            if quals is not None:
+                order = cand[np.argsort(quals[cand], kind="stable")]
+            else:
+                order = cand[np.argsort(-cover[cand], kind="stable")]
+            best = None  # (new_n_weak, pos, base)
+            for pos in order[:8]:
+                cur = int(codes[pos])
+                for b in range(4):
+                    if b == cur:
+                        continue
+                    codes[pos] = b
+                    nw, _ = self._weak_profile(codes)
+                    codes[pos] = cur
+                    if nw < n_weak and (best is None or nw < best[0]):
+                        best = (nw, int(pos), b)
+                if best is not None and best[0] == 0:
+                    break
+            if best is None:
+                break
+            n_weak, pos, b = best
+            codes[pos] = b
+            edits += 1
+            _, cover = self._weak_profile(codes)
+        return edits
+
+    def correct(self, reads: ReadSet) -> ReadSet:
+        out = reads.copy()
+        for i in range(out.n_reads):
+            ln = int(out.lengths[i])
+            if ln < self.params.k:
+                continue
+            quals = out.quals[i, :ln] if out.quals is not None else None
+            self._correct_read(out.codes[i, :ln], quals)
+        return out
+
+    def is_fixable(self, codes: np.ndarray) -> bool:
+        """SAP's fixable test: the read has a solid-prefix to extend."""
+        k = self.params.k
+        if codes.size < k:
+            return False
+        safe = np.where(codes < 4, codes, 0)
+        first = kmer_codes_from_sequence(safe[:k], k)
+        return bool(self.spectrum.count(first)[0] >= self.params.m)
+
+
+def naive_y_scores(spectrum: KmerSpectrum) -> np.ndarray:
+    """The baseline detector's scores: raw observed counts Y."""
+    return spectrum.counts.astype(np.float64)

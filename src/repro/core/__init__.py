@@ -1,0 +1,6 @@
+"""The dissertation's three contributions: Reptile, REDEEM, CLOSET."""
+
+from . import closet, redeem, reptile
+from .hybrid import HybridCorrector, HybridResult
+
+__all__ = ["reptile", "redeem", "closet", "HybridCorrector", "HybridResult"]

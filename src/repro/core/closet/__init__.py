@@ -1,0 +1,37 @@
+"""CLOSET — sketch + quasi-clique metagenomic read clustering (Chapter 4)."""
+
+from .driver import ClosetClusterer, ClosetParams, ClosetResult
+from .quasiclique import (
+    Cluster,
+    QuasiCliqueClusterer,
+    cluster_at_thresholds,
+)
+from .similarity import (
+    banded_alignment_identity,
+    hash64,
+    kmer_containment,
+    pairwise_similarity_matrix,
+    read_hash_sets,
+)
+from .sketch import EdgeConstructionResult, SketchParams, build_edges
+from .tuning import GridPoint, GridSearchResult, grid_search_parameters
+
+__all__ = [
+    "ClosetClusterer",
+    "ClosetParams",
+    "ClosetResult",
+    "SketchParams",
+    "EdgeConstructionResult",
+    "build_edges",
+    "QuasiCliqueClusterer",
+    "Cluster",
+    "cluster_at_thresholds",
+    "hash64",
+    "kmer_containment",
+    "read_hash_sets",
+    "banded_alignment_identity",
+    "pairwise_similarity_matrix",
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search_parameters",
+]

@@ -1,0 +1,185 @@
+"""Incremental γ-quasi-clique enumeration — Algorithm 4 (Sec. 4.3.2).
+
+A *cluster* is a vertex set U whose recorded edge set E_U satisfies
+``|E_U| >= gamma * C(|U|, 2)``.  Starting from every edge as a
+2-clique, clusters sharing vertices merge greedily whenever the merged
+pair still meets the density bound.  Clusters may overlap — a read
+similar to several taxa legitimately sits in several clusters (the
+thesis's answer to ambiguous assignments, Sec. 4.1).  Called with a
+*decreasing* sequence of similarity thresholds, each level adds the
+newly admitted edges to the clusters carried over from the previous
+level, yielding one clustering per taxonomic rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Cluster:
+    """One quasi-clique: member vertices and recorded edges."""
+
+    vertices: set
+    edges: set  # frozen (i, j) tuples with i < j
+
+    def density(self) -> float:
+        n = len(self.vertices)
+        if n < 2:
+            return 1.0
+        return len(self.edges) / (n * (n - 1) / 2)
+
+
+def _merge_ok(a: Cluster, b: Cluster, gamma: float) -> Cluster | None:
+    verts = a.vertices | b.vertices
+    edges = a.edges | b.edges
+    n = len(verts)
+    if len(edges) >= gamma * (n * (n - 1) / 2):
+        return Cluster(vertices=verts, edges=edges)
+    return None
+
+
+class QuasiCliqueClusterer:
+    """Stateful incremental clusterer over decreasing thresholds."""
+
+    def __init__(self, gamma: float = 2.0 / 3.0, max_passes: int = 12):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+        self.max_passes = max_passes
+        self._clusters: dict[int, Cluster] = {}
+        self._next_id = 0
+        self._vertex_map: dict[int, set[int]] = {}
+        self._seen_edges: set[tuple[int, int]] = set()
+        #: Clusters processed (created or merged) — Table 4.2's tally.
+        self.n_processed = 0
+
+    # -- bookkeeping -------------------------------------------------
+    def _add_cluster(self, c: Cluster) -> int:
+        cid = self._next_id
+        self._next_id += 1
+        self._clusters[cid] = c
+        for v in c.vertices:
+            self._vertex_map.setdefault(v, set()).add(cid)
+        self.n_processed += 1
+        return cid
+
+    def _remove_cluster(self, cid: int) -> None:
+        c = self._clusters.pop(cid)
+        for v in c.vertices:
+            ids = self._vertex_map.get(v)
+            if ids is not None:
+                ids.discard(cid)
+                if not ids:
+                    del self._vertex_map[v]
+
+    # -- public API -----------------------------------------------------
+    def add_edges(self, edges: np.ndarray) -> None:
+        """Introduce new edges (each becomes a 2-clique) and re-merge."""
+        edges = np.atleast_2d(np.asarray(edges, dtype=np.int64))
+        for i, j in edges.tolist():
+            if i == j:
+                continue
+            key = (min(i, j), max(i, j))
+            if key in self._seen_edges:
+                continue
+            self._seen_edges.add(key)
+            self._add_cluster(
+                Cluster(vertices={key[0], key[1]}, edges={key})
+            )
+        self._merge_until_stable()
+
+    def _merge_until_stable(self) -> None:
+        for _ in range(self.max_passes):
+            merged_any = False
+            # Snapshot ids; merging invalidates entries as we go.
+            for cid in list(self._clusters.keys()):
+                if cid not in self._clusters:
+                    continue
+                c = self._clusters[cid]
+                # Candidate partners: clusters sharing any vertex.
+                partners: set[int] = set()
+                for v in c.vertices:
+                    partners |= self._vertex_map.get(v, set())
+                partners.discard(cid)
+                # Prefer partners with the largest overlap first.
+                ranked = sorted(
+                    partners,
+                    key=lambda p: -len(
+                        self._clusters[p].vertices & c.vertices
+                    ),
+                )
+                for pid in ranked:
+                    if cid not in self._clusters or pid not in self._clusters:
+                        continue
+                    merged = _merge_ok(
+                        self._clusters[cid], self._clusters[pid], self.gamma
+                    )
+                    if merged is not None:
+                        self._remove_cluster(cid)
+                        self._remove_cluster(pid)
+                        cid = self._add_cluster(merged)
+                        c = merged
+                        merged_any = True
+            if not merged_any:
+                break
+
+    # -- results -----------------------------------------------------------
+    def clusters(self, min_size: int = 2) -> list[Cluster]:
+        """Current maximal clusters, deduplicated by vertex set."""
+        seen: set[frozenset] = set()
+        out: list[Cluster] = []
+        for c in self._clusters.values():
+            if len(c.vertices) < min_size:
+                continue
+            key = frozenset(c.vertices)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(c)
+        return out
+
+    def cluster_index_arrays(self, min_size: int = 2) -> list[np.ndarray]:
+        """Clusters as sorted numpy index arrays (eval-friendly)."""
+        return [
+            np.array(sorted(c.vertices), dtype=np.int64)
+            for c in self.clusters(min_size=min_size)
+        ]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+
+def cluster_at_thresholds(
+    edges: np.ndarray,
+    similarities: np.ndarray,
+    thresholds: list[float],
+    gamma: float | dict[float, float] = 2.0 / 3.0,
+) -> dict[float, list[np.ndarray]]:
+    """Run the incremental scheme over decreasing thresholds.
+
+    Returns ``{threshold: clusters}`` where clusters are index arrays.
+    Thresholds must be decreasing; edges admitted at a higher level
+    stay for the lower ones (``E_{k-1} ⊆ E_k``).  ``gamma`` may be a
+    per-threshold mapping — the thesis notes the density requirement
+    'can even be tuned as a function of the threshold t' (Sec. 4.1).
+    """
+    thresholds = list(thresholds)
+    if sorted(thresholds, reverse=True) != thresholds:
+        raise ValueError("thresholds must be non-increasing")
+    gamma_of = (
+        (lambda t: gamma[t]) if isinstance(gamma, dict) else (lambda t: gamma)
+    )
+    clusterer = QuasiCliqueClusterer(gamma=gamma_of(thresholds[0]) if thresholds else 2.0 / 3.0)
+    edges = np.atleast_2d(np.asarray(edges, dtype=np.int64))
+    similarities = np.asarray(similarities, dtype=np.float64)
+    out: dict[float, list[np.ndarray]] = {}
+    for t in thresholds:
+        clusterer.gamma = gamma_of(t)
+        batch = edges[similarities >= t]
+        clusterer.add_edges(batch)
+        out[t] = clusterer.cluster_index_arrays()
+    return out

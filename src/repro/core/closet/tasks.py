@@ -1,0 +1,229 @@
+"""CLOSET as MapReduce jobs — Tasks 1–8 of Sec. 4.4.
+
+Each stage is a :class:`~repro.mapreduce.MapReduceTask` runnable on
+the local engine (serial or multiprocess).  Data flows as picklable
+key/value pairs:
+
+1. **sketch selection** — (rID, hash set) → (sketch hash, rID); the
+   reducer groups rIDs per hash, postponing groups above Cmax.
+2. **edge generation** — hash groups → candidate (i, j) pairs; the
+   reducer counts shared sketch hashes and keeps pairs at Cmin.
+3. **redundant edge removal** — dedup, emit both directions.
+4. **data aggregation** — join read hash sets with their edge lists.
+5. **edge validation** — exact similarity per pair, threshold at t.
+6. **edge filtering** — keep edges at the current threshold t_k.
+7. **quasi-clique merging** — edges + prior clusters → merged
+   candidates (γ density check).
+8. **cluster dedup** — merge clusters sharing the same vertex set.
+
+Mappers/reducers close over parameters via ``functools.partial`` so
+the multiprocess engine can pickle them.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from ...mapreduce import MapReduceTask
+from .similarity import kmer_containment
+
+_REM = "__postponed__"
+
+
+# -- Task 1: sketch selection -------------------------------------------------
+def sketch_mapper(rid, hashes, modulus, residue):
+    mod = np.uint64(modulus)
+    res = np.uint64(residue)
+    for h in hashes[(hashes % mod) == res].tolist():
+        yield int(h), rid
+
+
+def sketch_reducer(hash_value, rids, cmax):
+    rids = sorted(set(rids))
+    if len(rids) < 2:
+        return
+    if len(rids) > cmax:
+        yield _REM, tuple(rids)
+    else:
+        yield len(rids), tuple(rids)
+
+
+def task_sketch_selection(modulus: int, residue: int, cmax: int) -> MapReduceTask:
+    return MapReduceTask(
+        name=f"sketch[l={residue}]",
+        mapper=partial(sketch_mapper, modulus=modulus, residue=residue),
+        reducer=partial(sketch_reducer, cmax=cmax),
+    )
+
+
+# -- Task 2: edge generation ------------------------------------------------
+def edge_gen_mapper(key, rids):
+    if key == _REM:
+        return
+    rids = list(rids)
+    for a in range(len(rids)):
+        for b in range(a + 1, len(rids)):
+            yield (rids[a], rids[b]), 1
+
+
+def edge_gen_reducer(pair, ones):
+    yield pair, sum(ones)
+
+
+def task_edge_generation() -> MapReduceTask:
+    return MapReduceTask(
+        name="edge-generation",
+        mapper=edge_gen_mapper,
+        reducer=edge_gen_reducer,
+        combiner=edge_gen_reducer,
+    )
+
+
+# -- Task 3: redundant edge removal -------------------------------------------
+def dedup_mapper(pair, count):
+    yield pair, count
+
+
+def dedup_reducer(pair, counts):
+    # Emit both directed copies so Task 4 can join per source vertex.
+    i, j = pair
+    total = sum(counts)
+    yield i, (j, total)
+    yield j, (i, total)
+
+
+def task_redundant_removal() -> MapReduceTask:
+    return MapReduceTask(
+        name="dedup-edges", mapper=dedup_mapper, reducer=dedup_reducer
+    )
+
+
+# -- Task 4/5: aggregation + validation -----------------------------------------
+def aggregate_mapper(key, value):
+    yield key, value
+
+
+def aggregate_reducer(rid, values):
+    """Join the read's hash set with its partner list."""
+    hashes = None
+    partners = []
+    for v in values:
+        if isinstance(v, np.ndarray):
+            hashes = v
+        else:
+            partners.append(v[0])
+    if hashes is None:
+        return
+    yield rid, (hashes, tuple(sorted(set(partners))))
+
+
+def task_data_aggregation() -> MapReduceTask:
+    return MapReduceTask(
+        name="aggregate", mapper=aggregate_mapper, reducer=aggregate_reducer
+    )
+
+
+def validation_mapper(rid, value):
+    hashes, partners = value
+    for p in partners:
+        key = (min(rid, p), max(rid, p))
+        yield key, hashes
+
+
+def validation_reducer(pair, hash_sets, threshold):
+    if len(hash_sets) != 2:
+        return
+    sim = kmer_containment(hash_sets[0], hash_sets[1])
+    if sim >= threshold:
+        yield pair, sim
+
+
+def task_edge_validation(threshold: float) -> MapReduceTask:
+    return MapReduceTask(
+        name="validate",
+        mapper=validation_mapper,
+        reducer=partial(validation_reducer, threshold=threshold),
+    )
+
+
+# -- Task 6: edge filtering --------------------------------------------------
+def filter_mapper(pair, sim, threshold):
+    if sim >= threshold:
+        yield pair, sim
+
+
+def filter_reducer(pair, sims):
+    yield pair, max(sims)
+
+
+def task_edge_filtering(threshold: float) -> MapReduceTask:
+    return MapReduceTask(
+        name=f"filter[t={threshold}]",
+        mapper=partial(filter_mapper, threshold=threshold),
+        reducer=filter_reducer,
+    )
+
+
+# -- Task 7/8: quasi-clique merging -----------------------------------------
+def clique_mapper(key, value):
+    """Route every cluster (edge set) via each member vertex so
+    clusters sharing a vertex meet at one reducer."""
+    edges = value  # tuple of (i, j) edges
+    verts = sorted({v for e in edges for v in e})
+    anchor = verts[0]
+    yield anchor, edges
+
+
+def clique_reducer(anchor, edge_sets, gamma):
+    """Greedy local merging of the clusters meeting at this vertex."""
+    clusters = [set(es) for es in edge_sets]
+    merged = True
+    while merged and len(clusters) > 1:
+        merged = False
+        out = []
+        while clusters:
+            c = clusters.pop()
+            placed = False
+            for o in out:
+                verts = {v for e in (o | c) for v in e}
+                n = len(verts)
+                if len(o | c) >= gamma * (n * (n - 1) / 2):
+                    o |= c
+                    placed = True
+                    merged = True
+                    break
+            if not placed:
+                out.append(c)
+        clusters = out
+    for c in clusters:
+        key = tuple(sorted({v for e in c for v in e}))
+        yield key, tuple(sorted(c))
+
+
+def task_quasiclique_merge(gamma: float) -> MapReduceTask:
+    return MapReduceTask(
+        name="quasi-clique",
+        mapper=clique_mapper,
+        reducer=partial(clique_reducer, gamma=gamma),
+    )
+
+
+def vertexset_dedup_mapper(vertex_key, edges):
+    yield vertex_key, edges
+
+
+def vertexset_dedup_reducer(vertex_key, edge_sets):
+    union: set = set()
+    for es in edge_sets:
+        union |= set(es)
+    yield vertex_key, tuple(sorted(union))
+
+
+def task_cluster_dedup() -> MapReduceTask:
+    return MapReduceTask(
+        name="cluster-dedup",
+        mapper=vertexset_dedup_mapper,
+        reducer=vertexset_dedup_reducer,
+    )

@@ -1,0 +1,43 @@
+"""REDEEM — repeat-aware error detection & correction via EM (Chapter 3)."""
+
+from .correct import (
+    correct_reads,
+    flag_suspicious_reads,
+    position_base_posteriors,
+)
+from .corrector import RedeemCorrector
+from .em import RedeemModel, build_misread_matrix, estimate_attempts
+from .error_model import (
+    KmerErrorModel,
+    estimate_kmer_error_model,
+    kmer_bases,
+    kmer_error_model_from_read_model,
+    uniform_kmer_error_model,
+)
+from .genomics import GenomeEstimate, estimate_genome_statistics
+from .partitioned import component_summary, estimate_attempts_partitioned
+from .qspectrum import weighted_spectrum_from_reads
+from .threshold import MixtureFit, fit_mixture, infer_threshold
+
+__all__ = [
+    "RedeemCorrector",
+    "RedeemModel",
+    "estimate_attempts",
+    "build_misread_matrix",
+    "KmerErrorModel",
+    "uniform_kmer_error_model",
+    "kmer_error_model_from_read_model",
+    "estimate_kmer_error_model",
+    "kmer_bases",
+    "MixtureFit",
+    "fit_mixture",
+    "infer_threshold",
+    "position_base_posteriors",
+    "flag_suspicious_reads",
+    "correct_reads",
+    "estimate_attempts_partitioned",
+    "component_summary",
+    "weighted_spectrum_from_reads",
+    "GenomeEstimate",
+    "estimate_genome_statistics",
+]

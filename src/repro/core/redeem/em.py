@@ -1,0 +1,133 @@
+"""EM estimation of expected read attempts T (Sec. 3.2).
+
+Observed k-mer counts ``Y_l`` mix faithful reads of ``x_l`` with
+misreads of its neighbors.  REDEEM maximizes
+
+    l(T | Y) ∝ sum_l Y_l log( sum_{m in N(l)} T_m pe(x_m -> x_l) )
+
+over the incomplete neighborhoods ``N(l)`` (observed k-mers within
+``dmax``, self included).  Each EM sweep is two sparse mat-vecs:
+
+    denom = Pᵀ T                       (expected reads landing on each l)
+    T    <- T ⊙ (P (Y / denom))        (reassign counts to sources)
+
+where ``P[m, l] = pe(x_m -> x_l)``, row-normalized over the observed
+neighborhood so probability mass lost to unobserved k-mers is folded
+back (the sparsification of Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...kmer.neighbor_index import PrecomputedNeighborIndex
+from ...kmer.spectrum import KmerSpectrum
+from .error_model import KmerErrorModel, kmer_bases
+
+
+@dataclass
+class RedeemModel:
+    """Fitted REDEEM state: the misread matrix and attempt estimates."""
+
+    spectrum: KmerSpectrum
+    #: CSR ``P[m, l]`` = row-normalized pe(x_m -> x_l) over observed
+    #: neighborhoods (self-loop included).
+    P: sp.csr_matrix
+    #: Estimated expected attempts to read each k-mer, aligned with
+    #: ``spectrum.kmers``.
+    T: np.ndarray
+    log_likelihood: list
+    n_iter: int
+
+    @property
+    def Y(self) -> np.ndarray:
+        return self.spectrum.counts
+
+    def expected_misread_counts(self) -> sp.csr_matrix:
+        """``E[Y_{lm}]`` — expected reads of source l observed as m —
+        useful for spotting over/under-counted valid k-mers (Sec. 3.6).
+        """
+        denom = np.asarray(self.P.T @ self.T).ravel()
+        denom = np.maximum(denom, 1e-300)
+        inv = self.spectrum.counts / denom
+        # Scale row l by T_l and column m by Y_m / denom_m.
+        D_T = sp.diags(self.T)
+        D_inv = sp.diags(inv)
+        return (D_T @ self.P @ D_inv).tocsr()
+
+
+def build_misread_matrix(
+    spectrum: KmerSpectrum,
+    error_model: KmerErrorModel,
+    dmax: int = 1,
+    adjacency: PrecomputedNeighborIndex | None = None,
+) -> sp.csr_matrix:
+    """Sparse row-normalized ``P[m, l] = pe(x_m -> x_l)`` over observed
+    Hamming-``dmax`` neighborhoods (self-loops included)."""
+    if error_model.k != spectrum.k:
+        raise ValueError("error model k does not match spectrum k")
+    if adjacency is None:
+        adjacency = PrecomputedNeighborIndex(
+            spectrum, dmax, include_self=True
+        )
+    n = spectrum.n_kmers
+    indptr = adjacency.indptr
+    cols = adjacency.indices
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+
+    bases = kmer_bases(spectrum.kmers, spectrum.k)
+    faithful = error_model.faithful_log_probs(bases)
+    logp = error_model.edge_log_probs(
+        spectrum.kmers, rows, cols, bases=bases, faithful=faithful
+    )
+    data = np.exp(logp)
+    P = sp.csr_matrix((data, cols, indptr), shape=(n, n))
+    row_sums = np.asarray(P.sum(axis=1)).ravel()
+    row_sums = np.maximum(row_sums, 1e-300)
+    P = sp.diags(1.0 / row_sums) @ P
+    return P.tocsr()
+
+
+def estimate_attempts(
+    spectrum: KmerSpectrum,
+    error_model: KmerErrorModel,
+    dmax: int = 1,
+    max_iter: int = 50,
+    tol: float = 1e-6,
+    adjacency: PrecomputedNeighborIndex | None = None,
+    observed_counts: np.ndarray | None = None,
+) -> RedeemModel:
+    """Run the EM of Sec. 3.2; returns the fitted :class:`RedeemModel`.
+
+    Initialization sets ``T = Y``; iteration stops when the relative
+    log-likelihood improvement drops below ``tol``.  ``observed_counts``
+    substitutes a different Y vector (e.g. quality-weighted q-mer
+    counts, the Chapter 5 extension) for the raw multiplicities.
+    """
+    P = build_misread_matrix(spectrum, error_model, dmax, adjacency)
+    Pt = P.T.tocsr()
+    if observed_counts is not None:
+        Y = np.asarray(observed_counts, dtype=np.float64)
+        if Y.shape != spectrum.counts.shape:
+            raise ValueError("observed_counts shape mismatch")
+    else:
+        Y = spectrum.counts.astype(np.float64)
+    T = Y.copy()
+    loglik: list[float] = []
+    it = 0
+    for it in range(1, max_iter + 1):
+        denom = Pt @ T
+        denom = np.maximum(denom, 1e-300)
+        ll = float(np.dot(Y, np.log(denom)))
+        T = T * (P @ (Y / denom))
+        loglik.append(ll)
+        if len(loglik) >= 2:
+            prev = loglik[-2]
+            if abs(ll - prev) <= tol * (abs(prev) + 1.0):
+                break
+    return RedeemModel(
+        spectrum=spectrum, P=P, T=T, log_likelihood=loglik, n_iter=it
+    )

@@ -1,0 +1,146 @@
+"""REDEEM's k-mer misread model (Sec. 3.2).
+
+``q_i(a, b)`` is the probability that true base ``a`` at k-mer
+position ``i`` is read as ``b``; the misread probability between two
+k-mers is the product over positions.  Four instantiations from the
+thesis's experiments:
+
+- **tIED** — the 'true' Illumina error distribution, estimated from
+  the same dataset (here: from the simulator's own matrices);
+- **wIED** — a 'wrong' Illumina distribution from a different dataset;
+- **tUED** — uniform errors at the true average rate (Eq. 3.1);
+- **wUED** — uniform errors at a wrong (inflated) rate.
+
+Pairwise probabilities are only ever needed for Hamming-neighbor
+pairs, so :meth:`KmerErrorModel.edge_log_probs` computes
+``log pe(x_m -> x_l)`` for an edge list in one vectorized pass: start
+from each source k-mer's faithful-read log-probability and adjust the
+(at most ``dmax``) differing positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...simulate.errors import ErrorModel, kmer_position_probs
+
+
+def kmer_bases(kmers: np.ndarray, k: int) -> np.ndarray:
+    """``(n, k)`` base codes of packed k-mer codes (vectorized)."""
+    kmers = np.asarray(kmers, dtype=np.uint64)
+    out = np.empty((kmers.size, k), dtype=np.uint8)
+    for i in range(k):
+        shift = np.uint64(2 * (k - 1 - i))
+        out[:, i] = (kmers >> shift) & np.uint64(3)
+    return out
+
+
+@dataclass(frozen=True)
+class KmerErrorModel:
+    """Position-specific k-mer misread probabilities ``q[i, a, b]``."""
+
+    q: np.ndarray  # (k, 4, 4), rows stochastic
+
+    def __post_init__(self) -> None:
+        q = np.asarray(self.q, dtype=np.float64)
+        if q.ndim != 3 or q.shape[1:] != (4, 4):
+            raise ValueError("q must have shape (k, 4, 4)")
+        if not np.allclose(q.sum(axis=2), 1.0, atol=1e-8):
+            raise ValueError("each q row must sum to 1")
+        object.__setattr__(self, "q", q)
+
+    @property
+    def k(self) -> int:
+        return self.q.shape[0]
+
+    def faithful_log_probs(self, bases: np.ndarray) -> np.ndarray:
+        """``log prod_i q_i(x_i, x_i)`` for each k-mer's base matrix."""
+        k = self.k
+        logq = np.log(np.maximum(self.q, 1e-300))
+        out = np.zeros(bases.shape[0], dtype=np.float64)
+        for i in range(k):
+            b = bases[:, i]
+            out += logq[i, b, b]
+        return out
+
+    def edge_log_probs(
+        self,
+        kmers: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        bases: np.ndarray | None = None,
+        faithful: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``log pe(kmers[src[e]] -> kmers[dst[e]])`` for every edge.
+
+        ``bases``/``faithful`` may be passed to reuse precomputed
+        per-k-mer tables across calls.
+        """
+        kmers = np.asarray(kmers, dtype=np.uint64)
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        k = self.k
+        if bases is None:
+            bases = kmer_bases(kmers, k)
+        if faithful is None:
+            faithful = self.faithful_log_probs(bases)
+        logq = np.log(np.maximum(self.q, 1e-300))
+        out = faithful[src].copy()
+        xor = kmers[src] ^ kmers[dst]
+        for i in range(k):
+            shift = np.uint64(2 * (k - 1 - i))
+            differs = ((xor >> shift) & np.uint64(3)) != 0
+            if not differs.any():
+                continue
+            e = np.flatnonzero(differs)
+            bs = bases[src[e], i]
+            bd = bases[dst[e], i]
+            out[e] += logq[i, bs, bd] - logq[i, bs, bs]
+        return out
+
+
+def uniform_kmer_error_model(k: int, pe: float) -> KmerErrorModel:
+    """Uniform substitution model (Eq. 3.1): constant ``pe`` per base."""
+    if not 0.0 <= pe < 1.0:
+        raise ValueError("pe must be in [0, 1)")
+    m = np.full((4, 4), pe / 3.0)
+    np.fill_diagonal(m, 1.0 - pe)
+    return KmerErrorModel(np.broadcast_to(m, (k, 4, 4)).copy())
+
+
+def kmer_error_model_from_read_model(
+    read_model: ErrorModel, k: int
+) -> KmerErrorModel:
+    """Fold a read-position error model into k-mer position ``q_i``
+    (the tIED/wIED construction of Sec. 3.4.2)."""
+    return KmerErrorModel(kmer_position_probs(read_model, k))
+
+
+def estimate_kmer_error_model(
+    read_codes: np.ndarray,
+    true_codes: np.ndarray,
+    k: int,
+    pseudocount: float = 1.0,
+) -> KmerErrorModel:
+    """Estimate ``q_i`` directly from aligned read/true code matrices
+    by decomposing every read into its k-mers (Sec. 3.4.2: each
+    nucleotide contributes counts at up to k distinct k-mer positions).
+    """
+    read_codes = np.atleast_2d(np.asarray(read_codes, dtype=np.uint8))
+    true_codes = np.atleast_2d(np.asarray(true_codes, dtype=np.uint8))
+    if read_codes.shape != true_codes.shape:
+        raise ValueError("read/true code shapes differ")
+    n, length = read_codes.shape
+    if k > length:
+        raise ValueError("k exceeds read length")
+    counts = np.full((k, 4, 4), pseudocount, dtype=np.float64)
+    span = length - k + 1
+    for i in range(k):
+        # k-mer position i aggregates read positions i .. i+span-1.
+        tc = true_codes[:, i : i + span].ravel()
+        rc = read_codes[:, i : i + span].ravel()
+        valid = (tc < 4) & (rc < 4)
+        np.add.at(counts[i], (tc[valid], rc[valid]), 1.0)
+    return KmerErrorModel(counts / counts.sum(axis=2, keepdims=True))

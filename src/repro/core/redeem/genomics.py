@@ -1,0 +1,70 @@
+"""Genome statistics from the attempt estimates T (Sec. 3.6).
+
+The thesis points out that 'T_l can be used to estimate genome length
+and repetition [Li and Waterman, 2003]': T is proportional to genomic
+occurrence alpha with a coverage-related constant (Fig. 3.3's peak
+spacing), so summing alpha-hat over non-error k-mers recovers the
+genome's k-mer content and its repeat mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .em import RedeemModel
+from .threshold import MixtureFit, infer_threshold
+
+
+@dataclass(frozen=True)
+class GenomeEstimate:
+    """Length/repetition estimates derived from T."""
+
+    genome_length: float
+    #: Fraction of genome positions covered by k-mers with alpha >= 2.
+    repeat_fraction: float
+    #: The per-copy T increment (Fig. 3.3 peak spacing).
+    coverage_constant: float
+    #: k-mers judged genomic (error posterior < 0.5).
+    n_genomic_kmers: int
+
+    def as_dict(self) -> dict:
+        return {
+            "genome_length": round(self.genome_length),
+            "repeat_fraction": round(self.repeat_fraction, 3),
+            "coverage_constant": round(self.coverage_constant, 2),
+            "n_genomic_kmers": self.n_genomic_kmers,
+        }
+
+
+def estimate_genome_statistics(
+    model: RedeemModel,
+    fit: MixtureFit | None = None,
+    double_stranded: bool = True,
+) -> GenomeEstimate:
+    """Estimate genome length and repeat fraction from T.
+
+    ``alpha_hat = T / c1`` where ``c1`` is the mixture's per-copy
+    increment; k-mers with error posterior >= 0.5 contribute nothing.
+    ``sum(alpha_hat)`` recovers the genomic k-mer content counted with
+    multiplicity; with reads sampled from both strands (the usual
+    case, ``double_stranded=True``) both a genomic k-mer and its
+    reverse complement appear, so the sum equals ``2(|G| - k + 1)``.
+    The repeat fraction is the alpha-mass carried by k-mers with
+    ``alpha_hat >= 1.5``.
+    """
+    if fit is None:
+        _, fit = infer_threshold(model.T)
+    c1 = max(fit.coverage_peak, 1e-9)
+    post_err = fit.error_posterior(model.T)
+    genomic = post_err < 0.5
+    alpha = model.T[genomic] / c1
+    total_alpha = float(alpha.sum())
+    k = model.spectrum.k
+    repeat_mass = float(alpha[alpha >= 1.5].sum())
+    strands = 2.0 if double_stranded else 1.0
+    return GenomeEstimate(
+        genome_length=total_alpha / strands + k - 1,
+        repeat_fraction=repeat_mass / total_alpha if total_alpha else 0.0,
+        coverage_constant=float(c1),
+        n_genomic_kmers=int(genomic.sum()),
+    )

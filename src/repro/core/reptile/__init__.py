@@ -1,0 +1,51 @@
+"""Reptile — representative tiling error correction (Chapter 2)."""
+
+from .ambiguous import convert_ambiguous, convertible_n_mask
+from .corrector import ReptileCorrector, ReptileResult
+from .params import (
+    ReptileParams,
+    count_histogram_thresholds,
+    default_k_for_genome,
+    select_parameters,
+)
+from .polymorphism import (
+    PolymorphicPair,
+    VariantSite,
+    detect_polymorphic_pairs,
+    polymorphic_sites,
+)
+from .read_correct import (
+    ReadCorrectionStats,
+    TilingContext,
+    correct_read_one_direction,
+)
+from .tile_correct import (
+    Decision,
+    TileOutcome,
+    correct_tile,
+    enumerate_mutant_tiles,
+    tile_diff_positions,
+)
+
+__all__ = [
+    "ReptileCorrector",
+    "ReptileResult",
+    "ReptileParams",
+    "select_parameters",
+    "default_k_for_genome",
+    "Decision",
+    "TileOutcome",
+    "correct_tile",
+    "enumerate_mutant_tiles",
+    "tile_diff_positions",
+    "TilingContext",
+    "ReadCorrectionStats",
+    "correct_read_one_direction",
+    "convert_ambiguous",
+    "convertible_n_mask",
+    "count_histogram_thresholds",
+    "PolymorphicPair",
+    "VariantSite",
+    "detect_polymorphic_pairs",
+    "polymorphic_sites",
+]

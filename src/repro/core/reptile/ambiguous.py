@@ -1,0 +1,84 @@
+"""Ambiguous-base (N) handling for Reptile (Sec. 2.4, Table 2.4).
+
+An N at read position ``b`` is *convertible* when every window of
+``w`` bases containing ``b`` holds at most ``d_max`` ambiguous bases —
+dense N clusters make co-location with other reads unresolvable, so
+those positions are left alone.  Convertible Ns are provisionally set
+to a default base (quality floored) and validated or corrected by the
+normal tiling walk afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...io.readset import ReadSet
+from ...seq.alphabet import N_CODE
+
+
+def convertible_n_mask(
+    reads: ReadSet, window: int, max_n: int
+) -> np.ndarray:
+    """Boolean matrix of N positions that satisfy the density rule."""
+    codes = reads.codes
+    n, lmax = codes.shape
+    cols = np.arange(lmax)[None, :]
+    in_read = cols < reads.lengths[:, None]
+    is_n = (codes == N_CODE) & in_read
+    if window > lmax:
+        # A single window covers the whole read.
+        total = is_n.sum(axis=1, keepdims=True)
+        return is_n & (total <= max_n)
+
+    is_n_i = is_n.astype(np.int32)
+    csum = np.zeros((n, lmax + 1), dtype=np.int32)
+    np.cumsum(is_n_i, axis=1, out=csum[:, 1:])
+    wcounts = csum[:, window:] - csum[:, :-window]  # (n, lmax - window + 1)
+
+    # worst[p] = max window count over windows containing position p,
+    # restricted to windows fully inside the read.
+    nwin = wcounts.shape[1]
+    worst = np.zeros((n, lmax), dtype=np.int32)
+    seen = np.zeros((n, lmax), dtype=bool)
+    for s in range(window):
+        # Window starting at j covers positions j .. j+window-1; the
+        # window containing p with offset s starts at p - s.
+        lo = s
+        hi = min(lmax, nwin + s)
+        if hi <= lo:
+            continue
+        seg = wcounts[:, lo - s : hi - s]
+        worst[:, lo:hi] = np.maximum(worst[:, lo:hi], seg)
+        seen[:, lo:hi] = True
+    # Positions of short reads may lack full windows relative to lmax;
+    # recompute per-read tail windows conservatively: windows must lie
+    # inside the read, so clip using each read's own length.
+    for ln in np.unique(reads.lengths):
+        if ln >= window:
+            continue
+        rows = np.flatnonzero(reads.lengths == ln)
+        total = is_n[rows, :ln].sum(axis=1, keepdims=True)
+        ok = total <= max_n
+        worst[rows, :ln] = np.where(ok, 0, max_n + 1)
+        seen[rows, :ln] = True
+    return is_n & seen & (worst <= max_n)
+
+
+def convert_ambiguous(
+    reads: ReadSet,
+    window: int,
+    max_n: int,
+    default_code: int = 0,
+    floor_quality: int = 2,
+) -> tuple[ReadSet, np.ndarray]:
+    """Replace convertible Ns with ``default_code`` in a copy.
+
+    Returns ``(new_reads, converted_mask)``; non-convertible Ns remain
+    and their reads are only partially correctable.
+    """
+    mask = convertible_n_mask(reads, window, max_n)
+    out = reads.copy()
+    out.codes[mask] = np.uint8(default_code)
+    if out.quals is not None:
+        out.quals[mask] = floor_quality
+    return out, mask

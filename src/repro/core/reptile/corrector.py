@@ -1,0 +1,230 @@
+"""ReptileCorrector — the public API of Chapter 2.
+
+Typical use::
+
+    from repro.core.reptile import ReptileCorrector
+
+    corrector = ReptileCorrector.fit(reads)      # auto parameters
+    corrected = corrector.correct(reads)         # ReadSet copy
+
+Phase 1 (information extraction) happens in :meth:`fit`: the
+k-spectrum, the precomputed Hamming-neighbor adjacency, and the
+quality-gated tile table.  Phase 2 (:meth:`correct`) walks every read
+with Algorithm 2 in both directions.  Reads are never stored beyond
+their columnar ReadSet; spectra and tiles are sorted arrays, so the
+memory footprint follows ``O(|R^k| + |R^{2k-l}|)`` (Sec. 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...io.readset import ReadSet
+from ...kmer.masked_index import MaskedKmerIndex
+from ...kmer.neighbor_index import PrecomputedNeighborIndex, ProbingNeighborIndex
+from ...kmer.spectrum import KmerSpectrum, spectrum_from_reads
+from ...kmer.tiles import TileTable, tile_table_from_reads
+from ...seq.alphabet import reverse_complement_codes
+from .ambiguous import convert_ambiguous
+from .params import ReptileParams, select_parameters
+from .read_correct import (
+    ReadCorrectionStats,
+    TilingContext,
+    correct_read_one_direction,
+)
+
+
+@dataclass
+class ReptileResult:
+    """Corrected reads plus run statistics."""
+
+    reads: ReadSet
+    stats: ReadCorrectionStats
+    n_ambiguous_converted: int = 0
+    #: Per-base mask of positions covered by a validated/corrected
+    #: tile in either direction (None unless requested).
+    validated: np.ndarray | None = None
+
+
+class ReptileCorrector:
+    """Tile-based error corrector for substitution-dominated short reads."""
+
+    def __init__(
+        self,
+        params: ReptileParams,
+        spectrum: KmerSpectrum,
+        tiles: TileTable,
+        neighbor_backend: str = "precomputed",
+        flexible_tiling: bool = True,
+    ):
+        self.params = params
+        self.spectrum = spectrum
+        self.tiles = tiles
+        self.flexible_tiling = flexible_tiling
+        if neighbor_backend == "precomputed":
+            self._index = PrecomputedNeighborIndex(spectrum, params.d)
+            self._neighbor_fn = self._index.neighbors
+        elif neighbor_backend == "probing":
+            self._index = ProbingNeighborIndex(spectrum, params.d)
+            self._neighbor_fn = self._index.neighbors
+        elif neighbor_backend == "masked":
+            self._index = MaskedKmerIndex(spectrum.kmers, params.k, params.d)
+            self._neighbor_fn = self._index.neighbors
+        else:
+            raise ValueError(f"unknown neighbor backend {neighbor_backend!r}")
+        self._ctx = TilingContext(
+            params=params,
+            tile_lookup=tiles.lookup,
+            kmer_neighbors=self._neighbor_fn,
+            flexible=flexible_tiling,
+        )
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        reads: ReadSet,
+        params: ReptileParams | None = None,
+        genome_length_estimate: int | None = None,
+        neighbor_backend: str = "precomputed",
+        flexible_tiling: bool = True,
+        **param_overrides,
+    ) -> "ReptileCorrector":
+        """Build all phase-1 structures from a read set.
+
+        When ``params`` is None they are selected from the data
+        (Sec. 2.3); keyword overrides land on the selected values via
+        ``dataclasses.replace``.
+        """
+        if params is None:
+            params = select_parameters(
+                reads, genome_length_estimate=genome_length_estimate
+            )
+        if param_overrides:
+            from dataclasses import replace
+
+            params = replace(params, **param_overrides)
+        spectrum = spectrum_from_reads(reads, params.k, both_strands=True)
+        tiles = tile_table_from_reads(
+            reads,
+            k=params.k,
+            overlap=params.overlap,
+            quality_cutoff=params.qc,
+            both_strands=True,
+        )
+        return cls(
+            params=params,
+            spectrum=spectrum,
+            tiles=tiles,
+            neighbor_backend=neighbor_backend,
+            flexible_tiling=flexible_tiling,
+        )
+
+    @classmethod
+    def fit_streaming(
+        cls,
+        chunks,
+        params: ReptileParams,
+        neighbor_backend: str = "precomputed",
+        flexible_tiling: bool = True,
+    ) -> "ReptileCorrector":
+        """Phase 1 over a stream of read chunks (Sec. 2.3's divide-and-
+        merge for inputs larger than memory).
+
+        Spectra and tile tables are built per chunk and merged; the
+        resulting corrector is identical to one fit on the whole input
+        at once.  Parameters must be supplied (the auto-selection
+        quantiles would need a second pass over the stream).
+        """
+        from ...kmer.streaming import (
+            spectrum_from_chunks,
+            tile_table_from_chunks,
+        )
+        import itertools
+
+        chunks1, chunks2 = itertools.tee(chunks)
+        spectrum = spectrum_from_chunks(chunks1, params.k, both_strands=True)
+        tiles = tile_table_from_chunks(
+            chunks2,
+            k=params.k,
+            overlap=params.overlap,
+            quality_cutoff=params.qc,
+            both_strands=True,
+        )
+        return cls(
+            params=params,
+            spectrum=spectrum,
+            tiles=tiles,
+            neighbor_backend=neighbor_backend,
+            flexible_tiling=flexible_tiling,
+        )
+
+    # -- correction ---------------------------------------------------
+    def correct(self, reads: ReadSet) -> ReadSet:
+        """Corrected copy of ``reads`` (convenience over :meth:`run`)."""
+        return self.run(reads).reads
+
+    def run(
+        self,
+        reads: ReadSet,
+        handle_ambiguous: bool = True,
+        ambiguous_default: int = 0,
+        track_validated: bool = False,
+    ) -> ReptileResult:
+        """Correct every read; both tiling directions (Sec. 2.3).
+
+        The reverse direction is realized by correcting the reverse
+        complement of the (already forward-corrected) read — spectra
+        and tile tables contain both strands, so lookups agree.
+        """
+        p = self.params
+        n_conv = 0
+        if handle_ambiguous and reads.has_ambiguous().any():
+            reads, conv_mask = convert_ambiguous(
+                reads,
+                window=p.effective_n_window,
+                max_n=p.effective_max_n,
+                default_code=ambiguous_default,
+            )
+            n_conv = int(conv_mask.sum())
+        out = reads.copy()
+        total = ReadCorrectionStats()
+        validated = (
+            np.zeros(out.codes.shape, dtype=bool) if track_validated else None
+        )
+        for i in range(out.n_reads):
+            ln = int(out.lengths[i])
+            codes = out.codes[i, :ln]
+            quals = out.quals[i, :ln] if out.quals is not None else None
+            vrow = validated[i, :ln] if validated is not None else None
+            total.merge(
+                correct_read_one_direction(codes, quals, self._ctx, vrow)
+            )
+            # 3'->5' pass on the reverse complement.
+            rc = reverse_complement_codes(codes.copy())
+            rq = quals[::-1].copy() if quals is not None else None
+            vrc = np.zeros(ln, dtype=bool) if vrow is not None else None
+            total.merge(correct_read_one_direction(rc, rq, self._ctx, vrc))
+            codes[:] = reverse_complement_codes(rc)
+            if vrow is not None:
+                vrow |= vrc[::-1]
+        return ReptileResult(
+            reads=out,
+            stats=total,
+            n_ambiguous_converted=n_conv,
+            validated=validated,
+        )
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough footprint of the phase-1 structures."""
+        total = self.spectrum.kmers.nbytes + self.spectrum.counts.nbytes
+        total += (
+            self.tiles.tiles.nbytes + self.tiles.oc.nbytes + self.tiles.og.nbytes
+        )
+        if isinstance(self._index, PrecomputedNeighborIndex):
+            total += self._index.indptr.nbytes + self._index.indices.nbytes
+        elif isinstance(self._index, MaskedKmerIndex):
+            total += self._index.memory_bytes()
+        return total

@@ -1,0 +1,144 @@
+"""Reptile parameters and their data-driven selection (Sec. 2.3,
+'Choosing Parameters').
+
+Rather than analytic thresholds resting on uniform-coverage /
+uniform-error assumptions, Reptile reads its thresholds off the
+empirical histograms of the dataset at hand: ``Qc`` from the quality
+score distribution, ``Cg``/``Cm`` from the high-quality tile
+multiplicity distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ...io.readset import ReadSet
+
+
+@dataclass(frozen=True)
+class ReptileParams:
+    """Tunable knobs of the Reptile corrector.
+
+    Attributes mirror the thesis symbols: ``k`` (k-mer size), ``d``
+    (max Hamming distance for mutant k-mers), ``overlap`` (l, the
+    k-mer overlap inside a tile; tile length is ``2k - overlap``),
+    ``cg`` (auto-validation count), ``cm`` (minimum trusted count),
+    ``cr`` (required frequency ratio for a correction), ``qc``
+    (quality cutoff for Og counting), ``qm`` (a correction must touch
+    at least one base with quality below this).
+    """
+
+    k: int = 12
+    d: int = 1
+    overlap: int = 0
+    cg: int = 20
+    cm: int = 4
+    cr: float = 2.0
+    qc: int = 20
+    qm: int = 30
+    #: Ambiguous-base density rule: at most ``max_n_in_window`` Ns per
+    #: window of ``n_window`` bases for a read to be N-corrected.
+    n_window: int | None = None  # defaults to k
+    max_n_in_window: int | None = None  # defaults to d
+
+    @property
+    def tile_length(self) -> int:
+        return 2 * self.k - self.overlap
+
+    @property
+    def effective_n_window(self) -> int:
+        return self.k if self.n_window is None else self.n_window
+
+    @property
+    def effective_max_n(self) -> int:
+        return self.d if self.max_n_in_window is None else self.max_n_in_window
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.overlap < self.k:
+            raise ValueError("overlap must be in [0, k)")
+        if self.tile_length > 31:
+            raise ValueError("tile length 2k - overlap must be <= 31")
+        if self.d < 0:
+            raise ValueError("d must be >= 0")
+        if self.cr <= 1.0:
+            raise ValueError("cr must exceed 1")
+
+
+def default_k_for_genome(genome_length: int) -> int:
+    """``k = ceil(log4 |G|)`` — the expected-unique-occurrence rule."""
+    return max(8, math.ceil(math.log(max(genome_length, 2), 4)))
+
+
+def select_parameters(
+    reads: ReadSet,
+    k: int | None = None,
+    genome_length_estimate: int | None = None,
+    d: int = 1,
+    overlap: int = 0,
+    quality_fraction: float = 0.175,
+    cg_fraction: float = 0.02,
+    cm_fraction: float = 0.05,
+    cr: float = 2.0,
+) -> ReptileParams:
+    """Choose Reptile parameters from the dataset's own histograms.
+
+    ``quality_fraction`` of bases fall below the chosen ``Qc``;
+    ``cg_fraction`` of tiles have Og above ``Cg``; ``cm_fraction``
+    occur more than ``Cm`` times.  Requires quality scores for the Qc
+    step (falls back to defaults otherwise).
+    """
+    if k is None:
+        if genome_length_estimate is not None:
+            k = default_k_for_genome(genome_length_estimate)
+        else:
+            k = 12
+
+    if reads.quals is not None and reads.n_reads:
+        cols = np.arange(reads.max_length)[None, :]
+        in_read = cols < reads.lengths[:, None]
+        qvals = reads.quals[in_read]
+        qc = int(np.quantile(qvals, quality_fraction))
+        qm = int(np.quantile(qvals, min(0.5, 2 * quality_fraction)))
+        qm = max(qm, qc + 1)
+    else:
+        qc, qm = 0, 1_000_000  # score-less data: every base correctable
+
+    base = ReptileParams(k=k, d=d, overlap=overlap, qc=qc, qm=qm, cr=cr)
+
+    from ...kmer.tiles import tile_table_from_reads
+
+    table = tile_table_from_reads(
+        reads, k=k, overlap=overlap, quality_cutoff=qc
+    )
+    if table.n_tiles:
+        cm, cg = count_histogram_thresholds(table.og)
+        base = replace(base, cg=int(cg), cm=int(cm))
+    return base
+
+
+def count_histogram_thresholds(counts: np.ndarray) -> tuple[int, int]:
+    """``(Cm, Cg)`` from the tile multiplicity histogram.
+
+    The Og histogram of a real dataset is bimodal: a spike of
+    erroneous tiles at 0–2 occurrences and a coverage peak for genuine
+    tiles.  ``Cm`` is placed at the valley between them (a tile below
+    Cm is untrusted), ``Cg`` comfortably above the coverage peak (a
+    tile that frequent is self-evidently genuine).  Falls back to
+    small constants when no bimodal structure is visible (tiny or very
+    low-coverage inputs).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    hist = np.bincount(counts[counts >= 0])
+    if hist.size <= 4:
+        return 2, max(4, int(counts.max(initial=4)))
+    # Coverage peak: most common multiplicity at >= 3 occurrences.
+    peak = int(np.argmax(hist[3:])) + 3
+    if peak <= 3:
+        return 2, max(4, 2 * peak)
+    valley = int(np.argmin(hist[1 : peak + 1])) + 1
+    cm = max(2, valley)
+    cg = max(cm + 1, int(round(1.5 * peak)))
+    return cm, cg

@@ -1,0 +1,183 @@
+"""Polymorphism (SNP) candidate detection — a Chapter 5 direction.
+
+The thesis observes that Reptile 'can accommodate SNP prediction by
+modifying the tile correction stage, where ambiguities may indicate
+polymorphisms' (Sec. 5).  The signature of a SNP in a single-genome
+(diploid/population) sample is a pair of k-mers at Hamming distance 1
+*both* of which carry solid, comparable support — an error would leave
+one side starved.
+
+:func:`detect_polymorphic_pairs` scans the spectrum for such pairs;
+:func:`polymorphic_sites` folds them into per-position variant calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...kmer.neighbor_index import PrecomputedNeighborIndex
+from ...kmer.spectrum import KmerSpectrum
+from ...seq.distance import kmer_hamming
+from ...seq.encoding import kmer_to_string
+
+
+@dataclass(frozen=True)
+class PolymorphicPair:
+    """Two well-supported k-mer variants differing at one base."""
+
+    kmer_a: int
+    kmer_b: int
+    count_a: int
+    count_b: int
+    #: 0-based position (within the k-mer) of the differing base.
+    position: int
+
+    @property
+    def balance(self) -> float:
+        """Minor/major count ratio (1.0 = perfectly balanced alleles)."""
+        lo, hi = sorted((self.count_a, self.count_b))
+        return lo / hi if hi else 0.0
+
+    def describe(self, k: int) -> str:
+        return (
+            f"{kmer_to_string(self.kmer_a, k)}({self.count_a}) / "
+            f"{kmer_to_string(self.kmer_b, k)}({self.count_b}) @ pos {self.position}"
+        )
+
+
+def _diff_position(a: int, b: int, k: int) -> int:
+    x = int(a) ^ int(b)
+    for pos in range(k):
+        if (x >> (2 * (k - 1 - pos))) & 3:
+            return pos
+    raise ValueError("identical k-mers")
+
+
+def detect_polymorphic_pairs(
+    spectrum: KmerSpectrum,
+    min_count: int,
+    max_ratio: float = 4.0,
+    index: PrecomputedNeighborIndex | None = None,
+) -> list[PolymorphicPair]:
+    """All distance-1 spectrum pairs where both sides look genomic.
+
+    Both counts must reach ``min_count`` (Reptile's Cm plays this role)
+    and their ratio must stay within ``max_ratio`` — a lopsided pair is
+    an error, not an allele (an error's frequency is its source's
+    count times a per-base error probability, orders of magnitude
+    below).  Each unordered pair is reported once.
+    """
+    if index is None:
+        index = PrecomputedNeighborIndex(spectrum, 1)
+    k = spectrum.k
+    counts = spectrum.counts
+    strong = np.flatnonzero(counts >= min_count)
+    pairs: list[PolymorphicPair] = []
+    strong_set = set(strong.tolist())
+    for i in strong.tolist():
+        nbr_idx = index.neighbors_of(i)
+        for j in nbr_idx.tolist():
+            if j <= i or j not in strong_set:
+                continue
+            ca, cb = int(counts[i]), int(counts[j])
+            if max(ca, cb) > max_ratio * min(ca, cb):
+                continue
+            a = int(spectrum.kmers[i])
+            b = int(spectrum.kmers[j])
+            if kmer_hamming(
+                np.array([a], dtype=np.uint64), np.array([b], dtype=np.uint64)
+            )[0] != 1:
+                continue
+            pairs.append(
+                PolymorphicPair(
+                    kmer_a=a,
+                    kmer_b=b,
+                    count_a=ca,
+                    count_b=cb,
+                    position=_diff_position(a, b, k),
+                )
+            )
+    return pairs
+
+
+@dataclass(frozen=True)
+class VariantSite:
+    """An aggregated variant call: the two alleles in k-mer context."""
+
+    context_a: str
+    context_b: str
+    support_a: int
+    support_b: int
+    n_supporting_pairs: int
+
+
+def polymorphic_sites(
+    pairs: list[PolymorphicPair],
+    spectrum: KmerSpectrum,
+    min_pairs: int = 2,
+) -> list[VariantSite]:
+    """Group pairs that witness the same underlying variant.
+
+    A real SNP is covered by up to k overlapping k-mer pairs (one per
+    offset); grouping by the allele bases and requiring ``min_pairs``
+    independent witnesses suppresses coincidental strong pairs.
+    Grouping key: the pair whose differing position is most central is
+    taken as the site representative; witnesses are pairs reachable by
+    shifting.
+    """
+    k = spectrum.k
+    # Bucket pairs by (major allele base, minor allele base) read off
+    # at the differing position, then chain pairs whose k-mers overlap.
+    used = [False] * len(pairs)
+    sites: list[VariantSite] = []
+    order = sorted(range(len(pairs)), key=lambda e: -min(pairs[e].count_a, pairs[e].count_b))
+    for e in order:
+        if used[e]:
+            continue
+        seed = pairs[e]
+        group = [e]
+        used[e] = True
+        for f in range(len(pairs)):
+            if used[f]:
+                continue
+            other = pairs[f]
+            # Same variant seen at another offset: the k-mers overlap
+            # by construction of sliding windows; use a cheap test on
+            # shifted codes.
+            if _witnesses_same_site(seed, other, k):
+                group.append(f)
+                used[f] = True
+        if len(group) >= min_pairs:
+            sites.append(
+                VariantSite(
+                    context_a=kmer_to_string(seed.kmer_a, k),
+                    context_b=kmer_to_string(seed.kmer_b, k),
+                    support_a=seed.count_a,
+                    support_b=seed.count_b,
+                    n_supporting_pairs=len(group),
+                )
+            )
+    return sites
+
+
+def _witnesses_same_site(a: PolymorphicPair, b: PolymorphicPair, k: int) -> bool:
+    """Do two pairs witness one genomic variant at different offsets?
+
+    If pair ``b``'s k-mers are pair ``a``'s shifted by ``s`` bases,
+    their codes agree on the overlapping ``k - |s|`` bases — including
+    the variant base.  We test every shift in ``1..k-1`` both ways.
+    """
+    for s in range(1, k):
+        # a shifted left by s should match b's prefix region.
+        mask = (1 << (2 * (k - s))) - 1
+        if (a.kmer_a & mask) == (b.kmer_a >> (2 * s)) and (
+            a.kmer_b & mask
+        ) == (b.kmer_b >> (2 * s)):
+            return True
+        if (b.kmer_a & mask) == (a.kmer_a >> (2 * s)) and (
+            b.kmer_b & mask
+        ) == (a.kmer_b >> (2 * s)):
+            return True
+    return False

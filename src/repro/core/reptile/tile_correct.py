@@ -1,0 +1,144 @@
+"""Tile correction — Algorithm 1 of the thesis.
+
+Given a tile (two overlapping/adjacent k-mers from a read) and its
+d-mutant tiles, decide whether the tile is VALID as observed, should
+be CORRECTED to a specific mutant, or leaves INSUFFICIENT evidence.
+The decision feeds the tiling walk of Algorithm 2 (``read_correct``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...seq.distance import kmer_hamming
+from ...kmer.tiles import compose_tiles_batch
+
+
+class Decision(enum.Enum):
+    """Outcome of one tile-correction attempt."""
+
+    VALID = "valid"
+    CORRECTED = "corrected"
+    INSUFFICIENT = "insufficient"
+
+
+@dataclass(frozen=True)
+class TileOutcome:
+    decision: Decision
+    #: The corrected tile code (only for CORRECTED).
+    new_tile: int | None = None
+    #: Positions (within the tile) changed by the correction.
+    changed_positions: tuple[int, ...] = ()
+
+
+def tile_diff_positions(a: int, b: int, tile_length: int) -> tuple[int, ...]:
+    """Base positions (0-based within the tile) where two codes differ."""
+    x = int(a) ^ int(b)
+    out = []
+    for pos in range(tile_length):
+        shift = 2 * (tile_length - 1 - pos)
+        if (x >> shift) & 3:
+            out.append(pos)
+    return tuple(out)
+
+
+def enumerate_mutant_tiles(
+    a1: int,
+    a2: int,
+    cand1: np.ndarray,
+    cand2: np.ndarray,
+    k: int,
+    overlap: int,
+) -> np.ndarray:
+    """All distinct d-mutant tile codes from candidate k-mer sets.
+
+    ``cand1``/``cand2`` are the allowed replacements of each
+    constituent k-mer (each should already include the original).
+    With a non-zero overlap, combinations disagreeing on the shared
+    bases are dropped.  The unmutated tile itself is excluded.
+    """
+    c1 = np.asarray(cand1, dtype=np.uint64)
+    c2 = np.asarray(cand2, dtype=np.uint64)
+    g1 = np.repeat(c1, c2.size)
+    g2 = np.tile(c2, c1.size)
+    if overlap:
+        suffix_mask = np.uint64((1 << (2 * overlap)) - 1)
+        pre_shift = np.uint64(2 * (k - overlap))
+        ok = (g1 & suffix_mask) == (g2 >> pre_shift)
+        g1, g2 = g1[ok], g2[ok]
+    tiles = compose_tiles_batch(g1, g2, k, overlap)
+    original = compose_tiles_batch(
+        np.array([a1], dtype=np.uint64), np.array([a2], dtype=np.uint64), k, overlap
+    )[0]
+    tiles = tiles[tiles != original]
+    return np.unique(tiles)
+
+
+def correct_tile(
+    tile_code: int,
+    mutant_tiles: np.ndarray,
+    og_tile: int,
+    og_mutants: np.ndarray,
+    tile_quals: np.ndarray | None,
+    tile_length: int,
+    cg: int,
+    cm: int,
+    cr: float,
+    qm: int,
+) -> TileOutcome:
+    """Algorithm 1 — decide VALID / CORRECTED / INSUFFICIENT.
+
+    ``mutant_tiles`` must contain only tiles observed in the data
+    (Og > 0 entries may still be 0 if only low-quality copies exist).
+    ``tile_quals`` holds the quality scores of this tile instance in
+    its read (None when the dataset has no scores — then every base is
+    treated as low-quality, per Sec. 2.5).
+    """
+    # Line 1-3: overwhelming support validates outright.
+    if og_tile >= cg:
+        return TileOutcome(Decision.VALID)
+
+    mutant_tiles = np.asarray(mutant_tiles, dtype=np.uint64)
+    og_mutants = np.asarray(og_mutants, dtype=np.int64)
+    present = og_mutants > 0
+    mutant_tiles = mutant_tiles[present]
+    og_mutants = og_mutants[present]
+
+    # Lines 4-9: no mutant evidence at all.
+    if mutant_tiles.size == 0:
+        if og_tile >= cm:
+            return TileOutcome(Decision.VALID)
+        return TileOutcome(Decision.INSUFFICIENT)
+
+    if og_tile >= cm:
+        # Lines 10-15: the tile has support; correct only on compelling
+        # relative evidence.
+        ratio_ok = og_mutants >= cr * og_tile
+        contenders = mutant_tiles[ratio_ok]
+        if contenders.size == 0:
+            return TileOutcome(Decision.VALID)
+        dists = kmer_hamming(
+            contenders, np.full(contenders.shape, np.uint64(tile_code))
+        )
+        dmin = int(dists.min())
+        closest = contenders[dists == dmin]
+        if closest.size != 1:
+            return TileOutcome(Decision.INSUFFICIENT)
+        target = int(closest[0])
+        changed = tile_diff_positions(tile_code, target, tile_length)
+        if tile_quals is not None:
+            if not any(tile_quals[p] < qm for p in changed):
+                return TileOutcome(Decision.INSUFFICIENT)
+        return TileOutcome(Decision.CORRECTED, new_tile=target, changed_positions=changed)
+
+    # Lines 16-21: the tile itself is rare; a unique well-supported
+    # mutant wins.
+    strong = og_mutants >= cm
+    if int(strong.sum()) == 1:
+        target = int(mutant_tiles[strong][0])
+        changed = tile_diff_positions(tile_code, target, tile_length)
+        return TileOutcome(Decision.CORRECTED, new_tile=target, changed_positions=changed)
+    return TileOutcome(Decision.INSUFFICIENT)

@@ -1,0 +1,34 @@
+"""Evaluation: correction metrics (Gain/EBA), k-mer detection curves,
+clustering ARI, dataset summaries."""
+
+from .clustering import (
+    adjusted_rand_index,
+    cluster_purity,
+    clustering_ari,
+    contingency_table,
+    harden_clusters,
+)
+from .correction import (
+    CorrectionMetrics,
+    ambiguous_base_accuracy,
+    evaluate_correction,
+)
+from .datasets import DatasetSummary, format_table, summarize_reads
+from .detection import DetectionCurve, detection_curve, genomic_truth
+
+__all__ = [
+    "CorrectionMetrics",
+    "evaluate_correction",
+    "ambiguous_base_accuracy",
+    "DetectionCurve",
+    "detection_curve",
+    "genomic_truth",
+    "contingency_table",
+    "adjusted_rand_index",
+    "harden_clusters",
+    "clustering_ari",
+    "cluster_purity",
+    "DatasetSummary",
+    "summarize_reads",
+    "format_table",
+]

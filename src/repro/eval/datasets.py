@@ -1,0 +1,81 @@
+"""Dataset characteristic summaries (Tables 2.1, 3.1, 4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..io.readset import ReadSet
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of a dataset-characteristics table."""
+
+    name: str
+    n_reads: int
+    read_length_min: int
+    read_length_avg: float
+    read_length_max: int
+    total_bases: int
+    coverage: float | None
+    error_rate: float | None
+    discarded_reads: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_reads": self.n_reads,
+            "len_min": self.read_length_min,
+            "len_avg": round(self.read_length_avg, 1),
+            "len_max": self.read_length_max,
+            "total_bases": self.total_bases,
+            "coverage": None if self.coverage is None else round(self.coverage, 1),
+            "error_rate": None
+            if self.error_rate is None
+            else round(self.error_rate, 4),
+            "discarded": self.discarded_reads,
+        }
+
+
+def summarize_reads(
+    name: str,
+    reads: ReadSet,
+    genome_length: int | None = None,
+    error_rate: float | None = None,
+    discarded_reads: int = 0,
+) -> DatasetSummary:
+    """Summary row for a read set (coverage needs ``genome_length``)."""
+    lengths = reads.lengths
+    return DatasetSummary(
+        name=name,
+        n_reads=reads.n_reads,
+        read_length_min=int(lengths.min()) if reads.n_reads else 0,
+        read_length_avg=float(lengths.mean()) if reads.n_reads else 0.0,
+        read_length_max=int(lengths.max()) if reads.n_reads else 0,
+        total_bases=reads.total_bases,
+        coverage=None
+        if genome_length is None
+        else reads.total_bases / genome_length,
+        error_rate=error_rate,
+        discarded_reads=discarded_reads,
+    )
+
+
+def format_table(rows: list[dict], headers: list[str] | None = None) -> str:
+    """Render dict rows as an aligned text table (bench output)."""
+    if not rows:
+        return "(empty)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    cells = [[str(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""k-mer-level error *detection* metrics (Sec. 3.4.2).
+
+Following Chin et al. (2009) as adopted by the thesis: a **false
+positive** is an error-free k-mer (one that occurs in the genome)
+classified as erroneous; a **false negative** is an erroneous k-mer
+(absent from the genome) left unflagged.  Classification applies a
+threshold ``M`` to a per-k-mer score — the observed count ``Y``
+(baseline) or REDEEM's estimated read attempts ``T`` — and the
+evaluation sweeps ``M`` to produce the U-shaped ``log(FP + FN)``
+curves of Fig. 3.2 and the minima of Table 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionCurve:
+    """FP/FN trade-off of thresholding one score vector."""
+
+    thresholds: np.ndarray
+    fp: np.ndarray
+    fn: np.ndarray
+
+    @property
+    def wrong_predictions(self) -> np.ndarray:
+        return self.fp + self.fn
+
+    def min_wrong_predictions(self) -> int:
+        return int(self.wrong_predictions.min())
+
+    def best_threshold(self) -> float:
+        return float(self.thresholds[int(np.argmin(self.wrong_predictions))])
+
+    def log_wrong_predictions(self) -> np.ndarray:
+        """``log10(FP + FN)`` with zeros clamped (Fig. 3.2's y-axis)."""
+        return np.log10(np.maximum(self.wrong_predictions, 1))
+
+
+def detection_curve(
+    scores: np.ndarray,
+    is_genomic: np.ndarray,
+    thresholds: np.ndarray | None = None,
+) -> DetectionCurve:
+    """Sweep thresholds over ``scores``; k-mer flagged iff score < M.
+
+    ``is_genomic[l]`` is True when k-mer ``l`` occurs in the reference
+    genome (ground truth available to the simulator).  Computed with
+    two sorted-prefix passes, so a full sweep costs one sort.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    is_genomic = np.asarray(is_genomic, dtype=bool)
+    if scores.shape != is_genomic.shape:
+        raise ValueError("scores/is_genomic shape mismatch")
+    if thresholds is None:
+        hi = float(scores.max()) if scores.size else 1.0
+        thresholds = np.linspace(0.0, hi + 1.0, 200)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+
+    order = np.argsort(scores, kind="stable")
+    sorted_scores = scores[order]
+    genomic_sorted = is_genomic[order].astype(np.int64)
+    cum_genomic = np.concatenate([[0], np.cumsum(genomic_sorted)])
+    total_err = int((~is_genomic).sum())
+
+    # For threshold M: flagged = scores < M = first `cnt` sorted entries.
+    cnt = np.searchsorted(sorted_scores, thresholds, side="left")
+    fp = cum_genomic[cnt]  # genomic kmers flagged erroneous
+    flagged_err = cnt - fp  # erroneous kmers correctly flagged
+    fn = total_err - flagged_err
+    return DetectionCurve(thresholds=thresholds, fp=fp.astype(np.int64), fn=fn.astype(np.int64))
+
+
+def genomic_truth(
+    observed_kmers: np.ndarray, genome_spectrum
+) -> np.ndarray:
+    """Boolean truth vector: which observed k-mers exist in the genome.
+
+    ``genome_spectrum`` is a :class:`~repro.kmer.KmerSpectrum` built
+    from the reference (both strands recommended).
+    """
+    return genome_spectrum.contains(np.asarray(observed_kmers, dtype=np.uint64))

@@ -1,0 +1,31 @@
+"""Read/write FASTA & FASTQ, Phred codecs, and the columnar ReadSet."""
+
+from .fasta import parse_fasta, write_fasta
+from .fastq import parse_fastq, read_fastq, write_fastq
+from .quality import (
+    MAX_PHRED,
+    PHRED33,
+    PHRED64,
+    decode_quality,
+    encode_quality,
+    error_prob_to_phred,
+    phred_to_error_prob,
+)
+from .readset import PAD, ReadSet
+
+__all__ = [
+    "ReadSet",
+    "PAD",
+    "parse_fasta",
+    "write_fasta",
+    "parse_fastq",
+    "read_fastq",
+    "write_fastq",
+    "PHRED33",
+    "PHRED64",
+    "MAX_PHRED",
+    "decode_quality",
+    "encode_quality",
+    "phred_to_error_prob",
+    "error_prob_to_phred",
+]

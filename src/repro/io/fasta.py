@@ -1,0 +1,60 @@
+"""Minimal FASTA reader/writer."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator
+
+
+def parse_fasta(source: str | Path | io.TextIOBase) -> Iterator[tuple[str, str]]:
+    """Yield ``(name, sequence)`` pairs from a FASTA file or handle."""
+    close = False
+    if isinstance(source, (str, Path)):
+        handle = open(source, "rt")
+        close = True
+    else:
+        handle = source
+    try:
+        name: str | None = None
+        chunks: list[str] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    yield name, "".join(chunks)
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("FASTA data before first header")
+                chunks.append(line)
+        if name is not None:
+            yield name, "".join(chunks)
+    finally:
+        if close:
+            handle.close()
+
+
+def write_fasta(
+    records: list[tuple[str, str]],
+    dest: str | Path | io.TextIOBase,
+    width: int = 70,
+) -> None:
+    """Write ``(name, sequence)`` records as FASTA with wrapped lines."""
+    close = False
+    if isinstance(dest, (str, Path)):
+        handle = open(dest, "wt")
+        close = True
+    else:
+        handle = dest
+    try:
+        for name, seq in records:
+            handle.write(f">{name}\n")
+            for i in range(0, len(seq), width):
+                handle.write(seq[i : i + width] + "\n")
+    finally:
+        if close:
+            handle.close()

@@ -1,0 +1,80 @@
+"""Minimal FASTQ reader/writer built around :class:`ReadSet`."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from .quality import PHRED33, decode_quality, encode_quality
+from .readset import ReadSet
+
+
+def parse_fastq(
+    source: str | Path | io.TextIOBase, offset: int = PHRED33
+) -> Iterator[tuple[str, str, np.ndarray]]:
+    """Yield ``(name, sequence, quality_scores)`` from a FASTQ file."""
+    close = False
+    if isinstance(source, (str, Path)):
+        handle = open(source, "rt")
+        close = True
+    else:
+        handle = source
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"malformed FASTQ header: {header!r}")
+            seq = handle.readline().strip()
+            plus = handle.readline().strip()
+            qual = handle.readline().strip()
+            if not plus.startswith("+"):
+                raise ValueError("malformed FASTQ record: missing '+' line")
+            if len(seq) != len(qual):
+                raise ValueError("sequence/quality length mismatch")
+            yield header[1:].split()[0], seq, decode_quality(qual, offset)
+    finally:
+        if close:
+            handle.close()
+
+
+def read_fastq(source: str | Path | io.TextIOBase, offset: int = PHRED33) -> ReadSet:
+    """Load an entire FASTQ file into a :class:`ReadSet`."""
+    names: list[str] = []
+    seqs: list[str] = []
+    quals: list[np.ndarray] = []
+    for name, seq, q in parse_fastq(source, offset):
+        names.append(name)
+        seqs.append(seq)
+        quals.append(q)
+    return ReadSet.from_strings(seqs, quals=quals, names=names)
+
+
+def write_fastq(
+    reads: ReadSet, dest: str | Path | io.TextIOBase, offset: int = PHRED33
+) -> None:
+    """Write a :class:`ReadSet` as FASTQ (reads without qualities get Q40)."""
+    close = False
+    if isinstance(dest, (str, Path)):
+        handle = open(dest, "wt")
+        close = True
+    else:
+        handle = dest
+    try:
+        for i in range(reads.n_reads):
+            name = reads.names[i] if reads.names else f"read{i}"
+            seq = reads.sequence(i)
+            q = reads.read_quals(i)
+            if q is None:
+                q = np.full(len(seq), 40, dtype=np.int16)
+            handle.write(f"@{name}\n{seq}\n+\n{encode_quality(q, offset)}\n")
+    finally:
+        if close:
+            handle.close()

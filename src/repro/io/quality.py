@@ -1,0 +1,42 @@
+"""Phred quality score codecs and probability conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ASCII offset for Sanger/Illumina-1.8+ FASTQ quality strings.
+PHRED33 = 33
+#: ASCII offset for legacy Illumina-1.3..1.7 FASTQ quality strings.
+PHRED64 = 64
+
+#: Maximum Phred score we ever emit (matches Illumina's practical cap).
+MAX_PHRED = 60
+
+
+def phred_to_error_prob(q: np.ndarray | int) -> np.ndarray | float:
+    """Error probability implied by a Phred score: ``10**(-q/10)``."""
+    return 10.0 ** (-np.asarray(q, dtype=np.float64) / 10.0)
+
+
+def error_prob_to_phred(p: np.ndarray | float) -> np.ndarray | float:
+    """Phred score implied by an error probability (clipped to MAX_PHRED)."""
+    p = np.clip(np.asarray(p, dtype=np.float64), 1e-10, 1.0)
+    return np.minimum(-10.0 * np.log10(p), MAX_PHRED)
+
+
+def decode_quality(qual: str | bytes, offset: int = PHRED33) -> np.ndarray:
+    """Decode a FASTQ quality string into an integer score array."""
+    if isinstance(qual, str):
+        qual = qual.encode("ascii")
+    scores = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - offset
+    if scores.size and scores.min() < 0:
+        raise ValueError("negative quality score; wrong Phred offset?")
+    return scores
+
+
+def encode_quality(scores: np.ndarray, offset: int = PHRED33) -> str:
+    """Encode an integer score array into a FASTQ quality string."""
+    scores = np.asarray(scores, dtype=np.int16)
+    if scores.size and (scores.min() < 0 or scores.max() + offset > 126):
+        raise ValueError("quality scores out of printable range")
+    return (scores + offset).astype(np.uint8).tobytes().decode("ascii")

@@ -1,0 +1,166 @@
+"""Columnar container for a collection of reads.
+
+A :class:`ReadSet` stores every read in one ``(n, L_max)`` ``uint8``
+code matrix (padded with :data:`PAD` past each read's length) plus an
+optional quality matrix.  This keeps the hot paths — k-mer extraction,
+tile counting, correction — fully vectorized with no per-read Python
+objects, following the HPC guidance of working on whole arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..seq.alphabet import N_CODE, decode, encode
+
+#: Padding code used past the end of short reads in the code matrix.
+PAD = 255
+
+
+@dataclass
+class ReadSet:
+    """A set of reads as a padded code matrix.
+
+    Attributes
+    ----------
+    codes:
+        ``(n, L_max)`` uint8 matrix of base codes; entries at column
+        ``j >= lengths[i]`` equal :data:`PAD`.
+    lengths:
+        ``(n,)`` int32 array of read lengths.
+    quals:
+        Optional ``(n, L_max)`` int16 Phred scores (0 in padding).
+    names:
+        Optional list of read identifiers.
+    """
+
+    codes: np.ndarray
+    lengths: np.ndarray
+    quals: np.ndarray | None = None
+    names: list[str] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.codes = np.atleast_2d(np.asarray(self.codes, dtype=np.uint8))
+        self.lengths = np.asarray(self.lengths, dtype=np.int32)
+        if self.lengths.shape != (self.codes.shape[0],):
+            raise ValueError("lengths must have one entry per read")
+        if self.quals is not None:
+            self.quals = np.atleast_2d(np.asarray(self.quals, dtype=np.int16))
+            if self.quals.shape != self.codes.shape:
+                raise ValueError("quals must match codes shape")
+
+    # -- construction -------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls,
+        seqs: list[str],
+        quals: list[np.ndarray] | None = None,
+        names: list[str] | None = None,
+    ) -> "ReadSet":
+        """Build a ReadSet from DNA strings (and optional score arrays)."""
+        n = len(seqs)
+        lengths = np.array([len(s) for s in seqs], dtype=np.int32)
+        lmax = int(lengths.max()) if n else 0
+        codes = np.full((n, lmax), PAD, dtype=np.uint8)
+        for i, s in enumerate(seqs):
+            codes[i, : lengths[i]] = encode(s)
+        qmat = None
+        if quals is not None:
+            if len(quals) != n:
+                raise ValueError("quals must have one entry per read")
+            qmat = np.zeros((n, lmax), dtype=np.int16)
+            for i, q in enumerate(quals):
+                q = np.asarray(q, dtype=np.int16)
+                if q.size != lengths[i]:
+                    raise ValueError(f"quality length mismatch for read {i}")
+                qmat[i, : lengths[i]] = q
+        return cls(codes=codes, lengths=lengths, quals=qmat, names=names)
+
+    # -- basic properties ----------------------------------------------
+    @property
+    def n_reads(self) -> int:
+        return self.codes.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_reads
+
+    @property
+    def max_length(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def uniform_length(self) -> int | None:
+        """The common read length, or ``None`` if lengths vary."""
+        if self.n_reads == 0:
+            return None
+        first = int(self.lengths[0])
+        return first if bool((self.lengths == first).all()) else None
+
+    @property
+    def total_bases(self) -> int:
+        return int(self.lengths.sum())
+
+    def coverage(self, genome_length: int) -> float:
+        """Sequencing depth ``nL / |G|`` over a genome of the given size."""
+        return self.total_bases / genome_length
+
+    # -- access ----------------------------------------------------------
+    def read_codes(self, i: int) -> np.ndarray:
+        """Code array of read ``i`` (unpadded view)."""
+        return self.codes[i, : self.lengths[i]]
+
+    def read_quals(self, i: int) -> np.ndarray | None:
+        if self.quals is None:
+            return None
+        return self.quals[i, : self.lengths[i]]
+
+    def sequence(self, i: int) -> str:
+        return decode(self.read_codes(i))
+
+    def sequences(self) -> list[str]:
+        return [self.sequence(i) for i in range(self.n_reads)]
+
+    def subset(self, index: np.ndarray) -> "ReadSet":
+        """New ReadSet restricted to the given read indices / boolean mask."""
+        index = np.asarray(index)
+        names = None
+        if self.names is not None:
+            idx = np.flatnonzero(index) if index.dtype == bool else index
+            names = [self.names[int(i)] for i in idx]
+        return ReadSet(
+            codes=self.codes[index].copy(),
+            lengths=self.lengths[index].copy(),
+            quals=None if self.quals is None else self.quals[index].copy(),
+            names=names,
+        )
+
+    def copy(self) -> "ReadSet":
+        return ReadSet(
+            codes=self.codes.copy(),
+            lengths=self.lengths.copy(),
+            quals=None if self.quals is None else self.quals.copy(),
+            names=None if self.names is None else list(self.names),
+        )
+
+    # -- derived ---------------------------------------------------------
+    def ambiguous_mask(self) -> np.ndarray:
+        """Boolean matrix marking N bases (padding excluded)."""
+        return self.codes == N_CODE
+
+    def has_ambiguous(self) -> np.ndarray:
+        """Per-read boolean: does the read contain any N?"""
+        return self.ambiguous_mask().any(axis=1)
+
+    def reverse_complement(self) -> "ReadSet":
+        """ReadSet of reverse-complemented reads (quality reversed too)."""
+        out = self.copy()
+        from ..seq.alphabet import COMPLEMENT
+
+        for i in range(out.n_reads):
+            ln = int(out.lengths[i])
+            out.codes[i, :ln] = COMPLEMENT[self.codes[i, :ln]][::-1]
+            if out.quals is not None:
+                out.quals[i, :ln] = self.quals[i, :ln][::-1]
+        return out

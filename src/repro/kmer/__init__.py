@@ -1,0 +1,60 @@
+"""k-mer machinery: spectra, Hamming neighborhoods, masked-replica
+indexes, and tile tables."""
+
+from .masked_index import MaskedKmerIndex
+from .neighbor_index import (
+    PrecomputedNeighborIndex,
+    ProbingNeighborIndex,
+    xor_patterns,
+)
+from .neighborhood import (
+    complete_neighbors,
+    neighborhood_size,
+    neighbors_d1,
+    neighbors_d1_batch,
+)
+from .streaming import (
+    iter_read_chunks,
+    merge_spectra,
+    merge_tile_tables,
+    spectrum_from_chunks,
+    tile_table_from_chunks,
+)
+from .spectrum import (
+    KmerSpectrum,
+    read_kmer_codes,
+    spectrum_from_reads,
+    spectrum_from_sequence,
+)
+from .tiles import (
+    TileTable,
+    compose_tile,
+    compose_tiles_batch,
+    split_tile,
+    tile_table_from_reads,
+)
+
+__all__ = [
+    "KmerSpectrum",
+    "spectrum_from_reads",
+    "spectrum_from_sequence",
+    "read_kmer_codes",
+    "complete_neighbors",
+    "neighbors_d1",
+    "neighbors_d1_batch",
+    "neighborhood_size",
+    "MaskedKmerIndex",
+    "ProbingNeighborIndex",
+    "PrecomputedNeighborIndex",
+    "xor_patterns",
+    "TileTable",
+    "tile_table_from_reads",
+    "compose_tile",
+    "compose_tiles_batch",
+    "split_tile",
+    "merge_spectra",
+    "merge_tile_tables",
+    "spectrum_from_chunks",
+    "tile_table_from_chunks",
+    "iter_read_chunks",
+]

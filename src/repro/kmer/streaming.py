@@ -1,0 +1,102 @@
+"""Out-of-core spectrum and tile construction (Sec. 2.3, 'Overall
+Complexity').
+
+'When the collection of input short reads R does not fit in main
+memory, we propose a divide and merge strategy where R is partitioned
+into chunks ... for each chunk, we stream through each read and record
+the k-spectrum and tile information, merging it with the data from
+previous chunks.  Reads need not be stored in memory after they have
+been processed.'
+
+Merging two sorted count tables is one ``np.unique`` over their
+concatenation with count aggregation — the structures stay sorted
+arrays throughout, so the corrector built from streamed chunks is
+bit-identical to one built monolithically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..io.readset import ReadSet
+from .spectrum import KmerSpectrum, read_kmer_codes
+from .tiles import TileTable, tile_table_from_reads
+
+
+def merge_spectra(a: KmerSpectrum, b: KmerSpectrum) -> KmerSpectrum:
+    """Sum two k-spectra (counts add; k must match)."""
+    if a.k != b.k:
+        raise ValueError("cannot merge spectra with different k")
+    kmers = np.concatenate([a.kmers, b.kmers])
+    counts = np.concatenate([a.counts, b.counts])
+    uniq, inverse = np.unique(kmers, return_inverse=True)
+    summed = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(summed, inverse, counts)
+    return KmerSpectrum(k=a.k, kmers=uniq, counts=summed)
+
+
+def merge_tile_tables(a: TileTable, b: TileTable) -> TileTable:
+    """Sum two tile tables (Oc and Og add)."""
+    if (a.k, a.overlap) != (b.k, b.overlap):
+        raise ValueError("cannot merge tile tables with different shape")
+    tiles = np.concatenate([a.tiles, b.tiles])
+    uniq, inverse = np.unique(tiles, return_inverse=True)
+    oc = np.zeros(uniq.size, dtype=np.int64)
+    og = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(oc, inverse, np.concatenate([a.oc, b.oc]))
+    np.add.at(og, inverse, np.concatenate([a.og, b.og]))
+    return TileTable(k=a.k, overlap=a.overlap, tiles=uniq, oc=oc, og=og)
+
+
+def spectrum_from_chunks(
+    chunks: Iterable[ReadSet], k: int, both_strands: bool = True
+) -> KmerSpectrum:
+    """k-spectrum over a stream of read chunks (constant read memory)."""
+    acc: KmerSpectrum | None = None
+    for chunk in chunks:
+        codes = read_kmer_codes(chunk, k, both_strands=both_strands)
+        kmers, counts = np.unique(codes, return_counts=True)
+        part = KmerSpectrum(k=k, kmers=kmers, counts=counts.astype(np.int64))
+        acc = part if acc is None else merge_spectra(acc, part)
+    if acc is None:
+        return KmerSpectrum(
+            k=k,
+            kmers=np.empty(0, dtype=np.uint64),
+            counts=np.empty(0, dtype=np.int64),
+        )
+    return acc
+
+
+def tile_table_from_chunks(
+    chunks: Iterable[ReadSet],
+    k: int,
+    overlap: int = 0,
+    quality_cutoff: int = 0,
+    both_strands: bool = True,
+) -> TileTable:
+    """Tile table over a stream of read chunks."""
+    acc: TileTable | None = None
+    for chunk in chunks:
+        part = tile_table_from_reads(
+            chunk,
+            k=k,
+            overlap=overlap,
+            quality_cutoff=quality_cutoff,
+            both_strands=both_strands,
+        )
+        acc = part if acc is None else merge_tile_tables(acc, part)
+    if acc is None:
+        empty = np.empty(0, dtype=np.uint64)
+        zeros = np.empty(0, dtype=np.int64)
+        return TileTable(k=k, overlap=overlap, tiles=empty, oc=zeros, og=zeros)
+    return acc
+
+
+def iter_read_chunks(reads: ReadSet, chunk_size: int) -> Iterator[ReadSet]:
+    """Split an in-memory ReadSet into chunks (testing convenience; in
+    production the chunks would come straight from a FASTQ stream)."""
+    for start in range(0, reads.n_reads, chunk_size):
+        idx = np.arange(start, min(start + chunk_size, reads.n_reads))
+        yield reads.subset(idx)

@@ -1,0 +1,21 @@
+"""RMAP-like read mapping substrate (evaluation + error estimation)."""
+
+from .index import GenomeSeedIndex
+from .rmap import (
+    AMBIGUOUS,
+    UNIQUE,
+    UNMAPPED,
+    MappingResult,
+    aligned_true_codes,
+    map_reads,
+)
+
+__all__ = [
+    "GenomeSeedIndex",
+    "MappingResult",
+    "map_reads",
+    "aligned_true_codes",
+    "UNMAPPED",
+    "UNIQUE",
+    "AMBIGUOUS",
+]

@@ -1,0 +1,57 @@
+"""Seed index over a reference genome.
+
+Maps every packed s-mer of the genome to its occurrence positions,
+stored CSR-style (sorted unique seed codes + position lists) so batch
+lookups are two ``searchsorted`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seq.encoding import kmer_codes_from_sequence, valid_kmer_mask
+
+
+class GenomeSeedIndex:
+    """Positions of every s-mer in a genome, queryable in batch."""
+
+    def __init__(self, genome_codes: np.ndarray, seed_length: int):
+        self.seed_length = int(seed_length)
+        genome_codes = np.asarray(genome_codes, dtype=np.uint8)
+        self.genome_codes = genome_codes
+        safe = np.where(genome_codes < 4, genome_codes, 0)
+        codes = kmer_codes_from_sequence(safe, self.seed_length)
+        valid = valid_kmer_mask(genome_codes[None, :], self.seed_length)[0]
+        positions = np.flatnonzero(valid).astype(np.int64)
+        codes = codes[valid]
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        self._positions = positions[order]
+        self._unique, self._starts = np.unique(sorted_codes, return_index=True)
+        self._ends = np.append(self._starts[1:], sorted_codes.size)
+
+    @property
+    def genome_length(self) -> int:
+        return self.genome_codes.size
+
+    def lookup_ranges(self, seed_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(start, end)`` slices into the position list per query seed
+        (empty range for absent seeds)."""
+        seed_codes = np.asarray(seed_codes, dtype=np.uint64)
+        if self._unique.size == 0:
+            z = np.zeros(seed_codes.shape, dtype=np.int64)
+            return z, z
+        idx = np.searchsorted(self._unique, seed_codes)
+        idx_c = np.minimum(idx, self._unique.size - 1)
+        found = self._unique[idx_c] == seed_codes
+        starts = np.where(found, self._starts[idx_c], 0)
+        ends = np.where(found, self._ends[idx_c], 0)
+        return starts.astype(np.int64), ends.astype(np.int64)
+
+    def positions_for_range(self, start: int, end: int) -> np.ndarray:
+        return self._positions[start:end]
+
+    @property
+    def position_list(self) -> np.ndarray:
+        """The full CSR position array (used by batch expansion)."""
+        return self._positions

@@ -1,0 +1,222 @@
+"""RMAP-like short read mapper (Smith et al. 2008, as used in the thesis).
+
+Pigeonhole mapping: a read with at most ``m`` mismatches against its
+true origin contains at least one exact seed among ``m+1`` disjoint
+seeds, so candidate positions come from seed-index hits and are then
+verified by a full Hamming comparison.  Reads are classified as
+*uniquely mapped* (a single best location), *ambiguously mapped*
+(tied best locations — repeats), or *unmapped*, exactly the categories
+of Table 2.2.  Everything is batched: candidate expansion, genome
+gathering, and mismatch counting are single vectorized passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.readset import ReadSet
+from ..seq.alphabet import reverse_complement_codes
+from ..seq.encoding import kmer_codes_from_reads
+from .index import GenomeSeedIndex
+
+#: Per-read mapping status codes.
+UNMAPPED = 0
+UNIQUE = 1
+AMBIGUOUS = 2
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping a read set against a genome."""
+
+    status: np.ndarray  # (n,) UNMAPPED/UNIQUE/AMBIGUOUS
+    position: np.ndarray  # (n,) best genome position (-1 if unmapped)
+    strand: np.ndarray  # (n,) +1 / -1 (0 if unmapped)
+    mismatches: np.ndarray  # (n,) mismatch count at best hit (-1 if unmapped)
+
+    @property
+    def n_reads(self) -> int:
+        return self.status.size
+
+    def fraction_unique(self) -> float:
+        return float((self.status == UNIQUE).mean()) if self.n_reads else 0.0
+
+    def fraction_ambiguous(self) -> float:
+        return float((self.status == AMBIGUOUS).mean()) if self.n_reads else 0.0
+
+    def fraction_unmapped(self) -> float:
+        return float((self.status == UNMAPPED).mean()) if self.n_reads else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "n_reads": self.n_reads,
+            "unique": self.fraction_unique(),
+            "ambiguous": self.fraction_ambiguous(),
+            "unmapped": self.fraction_unmapped(),
+        }
+
+
+def _candidates_for_block(
+    block: np.ndarray,
+    index: GenomeSeedIndex,
+    max_mismatches: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(read_row, genome_position) candidate pairs for one orientation
+    of a uniform-length read block, deduplicated."""
+    n, length = block.shape
+    s = index.seed_length
+    n_seeds = max_mismatches + 1
+    glen = index.genome_length
+
+    safe = np.where(block < 4, block, 0)
+    kcodes = kmer_codes_from_reads(safe, s)  # (n, length - s + 1)
+
+    rows_list: list[np.ndarray] = []
+    pos_list: list[np.ndarray] = []
+    for j in range(n_seeds):
+        off = j * s
+        if off + s > length:
+            break
+        seeds = kcodes[:, off]
+        starts, ends = index.lookup_ranges(seeds)
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        read_rows = np.repeat(np.arange(n), counts)
+        # Flatten CSR ranges: for each query, positions[starts:ends].
+        flat = np.concatenate(
+            [index.position_list[a:b] for a, b in zip(starts, ends) if b > a]
+        )
+        cand_pos = flat - off
+        ok = (cand_pos >= 0) & (cand_pos + length <= glen)
+        rows_list.append(read_rows[ok])
+        pos_list.append(cand_pos[ok])
+
+    if not rows_list:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    rows = np.concatenate(rows_list)
+    pos = np.concatenate(pos_list)
+    # Deduplicate (row, pos) pairs from multiple seed hits.
+    key = rows * np.int64(glen + 1) + pos
+    _, keep = np.unique(key, return_index=True)
+    return rows[keep], pos[keep]
+
+
+def map_reads(
+    reads: ReadSet,
+    genome_codes: np.ndarray,
+    max_mismatches: int = 2,
+    both_strands: bool = True,
+    index: GenomeSeedIndex | None = None,
+    seed_length: int | None = None,
+) -> MappingResult:
+    """Map every read, allowing up to ``max_mismatches`` substitutions.
+
+    Ambiguous bases (N) in reads count as mismatches at verification.
+    ``seed_length`` defaults to ``min_read_length // (m+1)`` (capped at
+    16); pass an ``index`` to reuse one across calls with the same seed
+    length.
+    """
+    genome_codes = np.asarray(genome_codes, dtype=np.uint8)
+    n = reads.n_reads
+    status = np.zeros(n, dtype=np.int8)
+    best_pos = np.full(n, -1, dtype=np.int64)
+    best_strand = np.zeros(n, dtype=np.int8)
+    best_mm = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return MappingResult(status, best_pos, best_strand, best_mm)
+
+    min_len = int(reads.lengths.min())
+    if seed_length is None:
+        seed_length = max(4, min(16, min_len // (max_mismatches + 1)))
+    if index is None:
+        index = GenomeSeedIndex(genome_codes, seed_length)
+    elif index.seed_length != seed_length:
+        raise ValueError("provided index has a different seed length")
+
+    for ln in np.unique(reads.lengths):
+        if ln < index.seed_length:
+            continue
+        rows = np.flatnonzero(reads.lengths == ln)
+        block = reads.codes[rows, :ln]
+        orientations = [(block, 1)]
+        if both_strands:
+            orientations.append((reverse_complement_codes(block), -1))
+
+        # Collect all verified hits of this block across orientations.
+        hit_rows: list[np.ndarray] = []
+        hit_pos: list[np.ndarray] = []
+        hit_mm: list[np.ndarray] = []
+        hit_strand: list[np.ndarray] = []
+        for oriented, strand in orientations:
+            crows, cpos = _candidates_for_block(oriented, index, max_mismatches)
+            if crows.size == 0:
+                continue
+            gather = cpos[:, None] + np.arange(ln)[None, :]
+            ref = genome_codes[gather]
+            mm = np.count_nonzero(oriented[crows] != ref, axis=1)
+            ok = mm <= max_mismatches
+            hit_rows.append(crows[ok])
+            hit_pos.append(cpos[ok])
+            hit_mm.append(mm[ok])
+            hit_strand.append(np.full(int(ok.sum()), strand, dtype=np.int8))
+        if not hit_rows:
+            continue
+        hrows = np.concatenate(hit_rows)
+        hpos = np.concatenate(hit_pos)
+        hmm = np.concatenate(hit_mm)
+        hstrand = np.concatenate(hit_strand)
+
+        # Per read: find minimal-mismatch hits, count ties.
+        order = np.lexsort((hpos, hmm, hrows))
+        hrows, hpos, hmm, hstrand = (
+            hrows[order],
+            hpos[order],
+            hmm[order],
+            hstrand[order],
+        )
+        first = np.ones(hrows.size, dtype=bool)
+        first[1:] = hrows[1:] != hrows[:-1]
+        first_idx = np.flatnonzero(first)
+        # Count hits per read tied at the minimum mismatch value.
+        group_end = np.append(first_idx[1:], hrows.size)
+        for fi, ge in zip(first_idx, group_end):
+            r = int(hrows[fi])
+            m0 = hmm[fi]
+            ties = int(np.count_nonzero(hmm[fi:ge] == m0))
+            gi = rows[r]
+            best_pos[gi] = hpos[fi]
+            best_strand[gi] = hstrand[fi]
+            best_mm[gi] = m0
+            status[gi] = UNIQUE if ties == 1 else AMBIGUOUS
+    return MappingResult(status, best_pos, best_strand, best_mm)
+
+
+def aligned_true_codes(
+    reads: ReadSet,
+    genome_codes: np.ndarray,
+    result: MappingResult,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Genome-derived 'true' codes for uniquely mapped reads.
+
+    Returns ``(read_rows, true_codes)`` where ``true_codes[i]`` is the
+    genome substring under read ``read_rows[i]``, oriented like the
+    read — the input to positional error-model estimation (Sec. 3.4.1).
+    Only uniform-length uniquely mapped reads are returned.
+    """
+    genome_codes = np.asarray(genome_codes, dtype=np.uint8)
+    unique_rows = np.flatnonzero(result.status == UNIQUE)
+    if unique_rows.size == 0:
+        return unique_rows, np.empty((0, 0), dtype=np.uint8)
+    ln = int(reads.lengths[unique_rows[0]])
+    unique_rows = unique_rows[reads.lengths[unique_rows] == ln]
+    pos = result.position[unique_rows]
+    gather = pos[:, None] + np.arange(ln)[None, :]
+    true = genome_codes[gather]
+    rev = result.strand[unique_rows] == -1
+    if rev.any():
+        true[rev] = reverse_complement_codes(true[rev])
+    return unique_rows, true

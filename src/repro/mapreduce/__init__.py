@@ -1,0 +1,21 @@
+"""Local MapReduce engine: tasks, serial/multiprocess execution,
+pipelines with stage reports (the Hadoop stand-in for CLOSET)."""
+
+from .engine import run_task
+from .pipeline import Pipeline, StageReport
+from .types import (
+    Counters,
+    MapReduceTask,
+    identity_mapper,
+    identity_reducer,
+)
+
+__all__ = [
+    "MapReduceTask",
+    "Counters",
+    "identity_mapper",
+    "identity_reducer",
+    "run_task",
+    "Pipeline",
+    "StageReport",
+]

@@ -1,0 +1,67 @@
+"""Core MapReduce abstractions.
+
+A :class:`MapReduceTask` bundles a user mapper/reducer (and optional
+combiner), mirroring one Hadoop job of Sec. 4.4.  Mappers and reducers
+are plain callables::
+
+    mapper(key, value)        -> iterable of (key, value)
+    reducer(key, [values...]) -> iterable of (key, value)
+    combiner(key, [values...])-> iterable of (key, value)   # optional
+
+For multiprocess execution they must be picklable (module-level
+functions or ``functools.partial`` of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+KV = tuple[Any, Any]
+Mapper = Callable[[Any, Any], Iterable[KV]]
+Reducer = Callable[[Any, list], Iterable[KV]]
+
+
+def identity_mapper(key: Any, value: Any) -> Iterable[KV]:
+    """Emit the input pair unchanged ('Map: emit each entry as it is')."""
+    yield key, value
+
+
+def identity_reducer(key: Any, values: list) -> Iterable[KV]:
+    """Emit every grouped value under its key."""
+    for v in values:
+        yield key, v
+
+
+@dataclass(frozen=True)
+class MapReduceTask:
+    """One map-reduce job: mapper, reducer, optional combiner."""
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Reducer | None = None
+
+
+class Counters:
+    """Job counters, aggregated across workers like Hadoop's."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._data[name] = self._data.get(name, 0) + amount
+
+    def merge(self, other: "Counters | dict") -> None:
+        data = other._data if isinstance(other, Counters) else other
+        for k, v in data.items():
+            self.incr(k, v)
+
+    def __getitem__(self, name: str) -> int:
+        return self._data.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counters({self._data!r})"

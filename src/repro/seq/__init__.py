@@ -1,0 +1,55 @@
+"""DNA sequence primitives: alphabet codes, 2-bit k-mer packing, distances."""
+
+from .alphabet import (
+    BASES,
+    N_CODE,
+    SIGMA,
+    complement_codes,
+    decode,
+    encode,
+    reverse_complement,
+    reverse_complement_codes,
+)
+from .distance import hamming, hamming_matrix, kmer_hamming, kmer_hamming_scalar
+from .edit import edit_distance, mean_edit_distance
+from .encoding import (
+    MAX_K,
+    canonical_kmer_codes,
+    kmer_codes_from_reads,
+    kmer_codes_from_sequence,
+    kmer_mask,
+    kmer_to_string,
+    pack_kmer,
+    revcomp_kmer_codes,
+    string_to_kmer,
+    unpack_kmer,
+    valid_kmer_mask,
+)
+
+__all__ = [
+    "BASES",
+    "N_CODE",
+    "SIGMA",
+    "MAX_K",
+    "encode",
+    "decode",
+    "complement_codes",
+    "reverse_complement",
+    "reverse_complement_codes",
+    "hamming",
+    "hamming_matrix",
+    "kmer_hamming",
+    "kmer_hamming_scalar",
+    "edit_distance",
+    "mean_edit_distance",
+    "pack_kmer",
+    "unpack_kmer",
+    "kmer_mask",
+    "kmer_codes_from_reads",
+    "kmer_codes_from_sequence",
+    "valid_kmer_mask",
+    "revcomp_kmer_codes",
+    "canonical_kmer_codes",
+    "kmer_to_string",
+    "string_to_kmer",
+]

@@ -1,0 +1,74 @@
+"""DNA alphabet definitions and code tables.
+
+Sequences are handled internally as numpy ``uint8`` arrays of *codes*:
+``A=0, C=1, G=2, T=3``.  The ambiguous base ``N`` is assigned code 4 and
+is only valid in raw read data — the k-mer machinery requires pure
+ACGT codes (Reptile converts N's to a default base before correction,
+mirroring Sec. 2.4 of the dissertation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical DNA bases in code order.
+BASES = "ACGT"
+
+#: Code assigned to the ambiguous base ``N``.
+N_CODE = 4
+
+#: Number of unambiguous bases.
+SIGMA = 4
+
+# Lookup table from ASCII byte -> code (255 marks an invalid character).
+_CHAR_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _CHAR_TO_CODE[ord(_b)] = _i
+    _CHAR_TO_CODE[ord(_b.lower())] = _i
+_CHAR_TO_CODE[ord("N")] = N_CODE
+_CHAR_TO_CODE[ord("n")] = N_CODE
+
+# Lookup table from code -> ASCII byte.
+_CODE_TO_CHAR = np.frombuffer(b"ACGTN", dtype=np.uint8).copy()
+
+#: Complement of each code (A<->T, C<->G, N->N).
+COMPLEMENT = np.array([3, 2, 1, 0, N_CODE], dtype=np.uint8)
+
+
+def encode(seq: str | bytes) -> np.ndarray:
+    """Encode a DNA string into a ``uint8`` code array.
+
+    Raises ``ValueError`` on characters outside ``ACGTNacgtn``.
+    """
+    if isinstance(seq, str):
+        seq = seq.encode("ascii")
+    raw = np.frombuffer(seq, dtype=np.uint8)
+    codes = _CHAR_TO_CODE[raw]
+    if codes.max(initial=0) == 255:
+        bad = chr(raw[int(np.argmax(codes == 255))])
+        raise ValueError(f"invalid DNA character {bad!r}")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a code array back into a DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() > N_CODE:
+        raise ValueError("code array contains values outside [0, 4]")
+    return _CODE_TO_CHAR[codes].tobytes().decode("ascii")
+
+
+def complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Complement of a code array (vectorized)."""
+    return COMPLEMENT[np.asarray(codes, dtype=np.uint8)]
+
+
+def reverse_complement_codes(codes: np.ndarray) -> np.ndarray:
+    """Reverse complement of a code array (works on the last axis)."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    return COMPLEMENT[codes][..., ::-1]
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA string."""
+    return decode(reverse_complement_codes(encode(seq)))

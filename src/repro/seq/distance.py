@@ -1,0 +1,55 @@
+"""Hamming distance on strings, code arrays, and packed k-mer codes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import encode
+
+# Per-byte popcount table used by the packed-code distance.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def hamming(a, b) -> int:
+    """Hamming distance between two equal-length strings or code arrays."""
+    if isinstance(a, str):
+        a = encode(a)
+    if isinstance(b, str):
+        b = encode(b)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("hamming distance requires equal lengths")
+    return int(np.count_nonzero(a != b))
+
+
+def hamming_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise Hamming distances between two 2-D code matrices."""
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("hamming distance requires equal lengths")
+    return np.count_nonzero(a[:, None, :] != b[None, :, :], axis=2)
+
+
+def kmer_hamming(codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
+    """Elementwise Hamming distance between packed k-mer code arrays.
+
+    A base position differs iff its 2-bit group differs; ORing the XOR
+    with the XOR shifted right by one bit collapses each group onto its
+    low bit, so a popcount of the even-bit mask counts differing bases.
+    """
+    a = np.asarray(codes_a, dtype=np.uint64)
+    b = np.asarray(codes_b, dtype=np.uint64)
+    x = a ^ b
+    low = (x | (x >> np.uint64(1))) & np.uint64(0x5555555555555555)
+    # Popcount via byte view to stay vectorized.
+    bytes_view = low.view(np.uint8).reshape(low.shape + (8,))
+    return _POPCOUNT8[bytes_view].sum(axis=-1).astype(np.int64)
+
+
+def kmer_hamming_scalar(a: int, b: int) -> int:
+    """Hamming distance between two packed k-mer codes (scalar path)."""
+    x = int(a) ^ int(b)
+    x = (x | (x >> 1)) & 0x5555555555555555
+    return bin(x).count("1")

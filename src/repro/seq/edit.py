@@ -1,0 +1,67 @@
+"""Edit (Levenshtein) distance over code arrays.
+
+Substitution-only methods use Hamming distance; handling 454-style
+insertion/deletion errors (the thesis's open issue #4, Sec. 1.2) needs
+true edit distance — both to evaluate indel-aware correction and to
+validate simulated indels.  Banded DP with one vectorized NumPy pass
+per row; the within-row insertion recurrence
+``cur[j] = min(cur[j], cur[j-1] + 1)`` is resolved in closed form as
+``idx + running_min(cur - idx)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import encode
+
+
+def edit_distance(a, b, band: int | None = None) -> int:
+    """Levenshtein distance between two strings / code arrays.
+
+    ``band`` restricts the DP to a diagonal corridor (exact whenever
+    the true distance stays below it); ``None`` computes exactly.
+    """
+    if isinstance(a, str):
+        a = encode(a)
+    if isinstance(b, str):
+        b = encode(b)
+    a = np.asarray(a, dtype=np.int16)
+    b = np.asarray(b, dtype=np.int16)
+    n, m = a.size, b.size
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    if band is None:
+        band = n + m
+    band = max(band, abs(n - m) + 1)
+    BIG = n + m + 1
+
+    prev = np.arange(m + 1, dtype=np.int64)  # row 0: all insertions
+    for i in range(1, n + 1):
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        cur = np.full(m + 1, BIG, dtype=np.int64)
+        if lo == 1:
+            cur[0] = i
+        sub = prev[lo - 1 : hi] + (b[lo - 1 : hi] != a[i - 1])
+        dele = prev[lo : hi + 1] + 1
+        cur[lo : hi + 1] = np.minimum(sub, dele)
+        # Left-to-right insertion relaxation over the band.
+        seg = cur[max(lo - 1, 0) : hi + 1]
+        idx = np.arange(seg.size, dtype=np.int64)
+        seg[:] = np.minimum.accumulate(seg - idx) + idx
+        prev = cur
+    return int(prev[m])
+
+
+def mean_edit_distance(
+    pairs: list[tuple[np.ndarray, np.ndarray]], band: int = 16
+) -> float:
+    """Average banded edit distance over sequence pairs."""
+    if not pairs:
+        return 0.0
+    return float(
+        np.mean([edit_distance(x, y, band=band) for x, y in pairs])
+    )

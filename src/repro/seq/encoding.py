@@ -1,0 +1,148 @@
+"""2-bit packed k-mer encoding.
+
+A k-mer over ``ACGT`` with ``k <= 31`` packs into a single ``uint64``
+(two bits per base, first base in the highest-order position).  All
+routines here are vectorized: a read set of *n* reads of length *L*
+yields its full k-mer content as one ``(n, L-k+1)`` integer array with
+no per-read Python work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import N_CODE
+
+#: Largest k representable in a uint64 code.
+MAX_K = 31
+
+
+def kmer_mask(k: int) -> int:
+    """Bit mask covering the ``2k`` low-order bits of a k-mer code."""
+    _check_k(k)
+    return (1 << (2 * k)) - 1
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def pack_kmer(codes: np.ndarray) -> int:
+    """Pack a 1-D code array (one k-mer) into an integer code."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    k = codes.size
+    _check_k(k)
+    if codes.max(initial=0) >= 4:
+        raise ValueError("cannot pack ambiguous (N) bases")
+    value = 0
+    for c in codes.tolist():
+        value = (value << 2) | int(c)
+    return value
+
+
+def unpack_kmer(value: int, k: int) -> np.ndarray:
+    """Unpack an integer k-mer code into a 1-D code array."""
+    _check_k(k)
+    out = np.empty(k, dtype=np.uint8)
+    for i in range(k - 1, -1, -1):
+        out[i] = value & 3
+        value >>= 2
+    return out
+
+
+def kmer_codes_from_reads(codes: np.ndarray, k: int) -> np.ndarray:
+    """All k-mer codes of a 2-D ``(n, L)`` read code matrix.
+
+    Returns an ``(n, L-k+1)`` ``uint64`` array.  Columns are computed
+    with a rolling shift so the work is ``O(L)`` vectorized passes over
+    all reads rather than ``O(nL)`` scalar operations.  Reads must be
+    N-free; see :func:`valid_kmer_mask` for handling ambiguous bases.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint64))
+    n, length = codes.shape
+    _check_k(k)
+    if length < k:
+        return np.empty((n, 0), dtype=np.uint64)
+    w = length - k + 1
+    out = np.empty((n, w), dtype=np.uint64)
+    # Rolling code for the first window of every read.
+    rolling = np.zeros(n, dtype=np.uint64)
+    for j in range(k):
+        rolling = (rolling << np.uint64(2)) | codes[:, j]
+    out[:, 0] = rolling
+    mask = np.uint64(kmer_mask(k))
+    for j in range(1, w):
+        rolling = ((rolling << np.uint64(2)) | codes[:, j + k - 1]) & mask
+        out[:, j] = rolling
+    return out
+
+
+def kmer_codes_from_sequence(codes: np.ndarray, k: int) -> np.ndarray:
+    """All k-mer codes of one long 1-D code sequence (e.g. a genome).
+
+    Unlike :func:`kmer_codes_from_reads` (which makes one vectorized
+    pass per *column*, ideal for many short reads) this makes one
+    vectorized pass per *k-mer position* — ``k`` passes over a length-N
+    array — which is the right loop order for a single megabase-scale
+    sequence.
+    """
+    codes = np.asarray(codes, dtype=np.uint64).ravel()
+    _check_k(k)
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.uint64)
+    w = n - k + 1
+    out = np.zeros(w, dtype=np.uint64)
+    for j in range(k):
+        out = (out << np.uint64(2)) | codes[j : j + w]
+    return out
+
+
+def valid_kmer_mask(codes: np.ndarray, k: int) -> np.ndarray:
+    """Boolean ``(n, L-k+1)`` mask of windows containing no N bases."""
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+    n, length = codes.shape
+    if length < k:
+        return np.empty((n, 0), dtype=bool)
+    is_n = (codes >= N_CODE).astype(np.int32)
+    csum = np.zeros((n, length + 1), dtype=np.int32)
+    np.cumsum(is_n, axis=1, out=csum[:, 1:])
+    return (csum[:, k:] - csum[:, :-k]) == 0
+
+
+def revcomp_kmer_codes(values: np.ndarray, k: int) -> np.ndarray:
+    """Reverse-complement packed k-mer codes (vectorized).
+
+    Complementing a 2-bit base code is ``3 - c`` (equivalently XOR 3),
+    so the full-code complement is XOR with the all-ones mask; the
+    reversal swaps 2-bit groups end to end.
+    """
+    _check_k(k)
+    values = np.asarray(values, dtype=np.uint64)
+    comp = values ^ np.uint64(kmer_mask(k))
+    out = np.zeros_like(comp)
+    for _ in range(k):
+        out = (out << np.uint64(2)) | (comp & np.uint64(3))
+        comp = comp >> np.uint64(2)
+    return out
+
+
+def canonical_kmer_codes(values: np.ndarray, k: int) -> np.ndarray:
+    """Elementwise minimum of each code and its reverse complement."""
+    values = np.asarray(values, dtype=np.uint64)
+    return np.minimum(values, revcomp_kmer_codes(values, k))
+
+
+def kmer_to_string(value: int, k: int) -> str:
+    """Human-readable k-mer from a packed code."""
+    from .alphabet import decode
+
+    return decode(unpack_kmer(int(value), k))
+
+
+def string_to_kmer(kmer: str) -> int:
+    """Packed code of a k-mer string."""
+    from .alphabet import encode
+
+    return pack_kmer(encode(kmer))

@@ -1,0 +1,68 @@
+"""Simulators: genomes with repeats, error models, Illumina & 454 reads,
+and metagenomic 16S pools with true taxonomic labels."""
+
+from .errors import (
+    ErrorModel,
+    UniformErrorModel,
+    apply_error_model,
+    estimate_positional_model,
+    illumina_like_model,
+    kmer_position_probs,
+)
+from .genome import (
+    MAIZE_COMPOSITION,
+    UNIFORM_COMPOSITION,
+    Genome,
+    GenomeSpec,
+    RepeatFamily,
+    random_codes,
+    random_genome,
+    repeat_spec,
+    simulate_genome,
+)
+from .illumina import SimulatedReads, inject_ambiguous, simulate_reads
+from .pyro import Pyro454Reads, simulate_454_reads
+from .transcriptome import TranscriptomeSample, simulate_transcriptome
+from .metagenome import (
+    DEFAULT_BRANCHING,
+    DEFAULT_DIVERGENCE,
+    RANKS,
+    MetagenomeSample,
+    Taxonomy,
+    TaxonomySpec,
+    simulate_metagenome,
+    simulate_taxonomy,
+)
+
+__all__ = [
+    "ErrorModel",
+    "UniformErrorModel",
+    "illumina_like_model",
+    "estimate_positional_model",
+    "kmer_position_probs",
+    "apply_error_model",
+    "Genome",
+    "GenomeSpec",
+    "RepeatFamily",
+    "MAIZE_COMPOSITION",
+    "UNIFORM_COMPOSITION",
+    "random_codes",
+    "random_genome",
+    "repeat_spec",
+    "simulate_genome",
+    "SimulatedReads",
+    "simulate_reads",
+    "inject_ambiguous",
+    "RANKS",
+    "DEFAULT_BRANCHING",
+    "DEFAULT_DIVERGENCE",
+    "Taxonomy",
+    "TaxonomySpec",
+    "simulate_taxonomy",
+    "MetagenomeSample",
+    "simulate_metagenome",
+    "TranscriptomeSample",
+    "simulate_transcriptome",
+    "Pyro454Reads",
+    "simulate_454_reads",
+]

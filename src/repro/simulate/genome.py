@@ -1,0 +1,180 @@
+"""Reference genome simulation with embedded repeat families.
+
+Reproduces the Type 1(a) dataset construction of Sec. 3.4.1: genomes
+drawn from the B73 maize nucleotide composition (A 28%, C 23%, G 22%,
+T 27%) with repeat regions of chosen (length, multiplicity) embedded at
+random locations so that a target fraction of the genome is spanned by
+repeats (Table 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Nucleotide composition of the B73 maize fragment used in the thesis.
+MAIZE_COMPOSITION = (0.28, 0.23, 0.22, 0.27)
+
+#: Uniform composition.
+UNIFORM_COMPOSITION = (0.25, 0.25, 0.25, 0.25)
+
+
+@dataclass(frozen=True)
+class RepeatFamily:
+    """One family of identical repeat copies embedded in a genome."""
+
+    length: int
+    multiplicity: int
+
+    @property
+    def total_bases(self) -> int:
+        return self.length * self.multiplicity
+
+
+@dataclass
+class GenomeSpec:
+    """Recipe for a simulated genome (Table 3.1 style)."""
+
+    length: int
+    repeat_families: tuple[RepeatFamily, ...] = ()
+    composition: tuple[float, float, float, float] = MAIZE_COMPOSITION
+    #: Per-copy substitution rate applied to repeat copies (0 = exact).
+    repeat_divergence: float = 0.0
+
+    @property
+    def repeat_fraction(self) -> float:
+        return sum(f.total_bases for f in self.repeat_families) / self.length
+
+
+@dataclass
+class Genome:
+    """A simulated genome: code array plus provenance annotations."""
+
+    codes: np.ndarray
+    spec: GenomeSpec
+    #: ``(start, end, family_index)`` for every embedded repeat copy.
+    repeat_intervals: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.codes.size
+
+    @property
+    def length(self) -> int:
+        return self.codes.size
+
+    def sequence(self) -> str:
+        from ..seq.alphabet import decode
+
+        return decode(self.codes)
+
+
+def random_codes(
+    length: int,
+    rng: np.random.Generator,
+    composition: tuple[float, float, float, float] = MAIZE_COMPOSITION,
+) -> np.ndarray:
+    """Random base codes with the given nucleotide composition."""
+    p = np.asarray(composition, dtype=np.float64)
+    p = p / p.sum()
+    return rng.choice(4, size=length, p=p).astype(np.uint8)
+
+
+def random_genome(
+    length: int,
+    rng: np.random.Generator,
+    composition: tuple[float, float, float, float] = MAIZE_COMPOSITION,
+) -> Genome:
+    """A repeat-free random genome."""
+    spec = GenomeSpec(length=length, composition=composition)
+    return Genome(codes=random_codes(length, rng, composition), spec=spec)
+
+
+def simulate_genome(spec: GenomeSpec, rng: np.random.Generator) -> Genome:
+    """Simulate a genome matching ``spec``.
+
+    The genome is assembled as a shuffled concatenation of unique
+    segments and repeat copies, so the repeat fraction is met exactly
+    and every copy location is recorded for downstream analysis.
+    """
+    repeat_bases = sum(f.total_bases for f in spec.repeat_families)
+    if repeat_bases > spec.length:
+        raise ValueError("repeat families exceed genome length")
+    unique_bases = spec.length - repeat_bases
+
+    # Master sequence for each repeat family.
+    masters = [
+        random_codes(f.length, rng, spec.composition) for f in spec.repeat_families
+    ]
+
+    # One block per repeat copy (optionally diverged from the master).
+    blocks: list[tuple[np.ndarray, int]] = []  # (codes, family_index or -1)
+    for fi, fam in enumerate(spec.repeat_families):
+        for _ in range(fam.multiplicity):
+            copy = masters[fi].copy()
+            if spec.repeat_divergence > 0:
+                mutate = rng.random(fam.length) < spec.repeat_divergence
+                if mutate.any():
+                    shift = rng.integers(1, 4, size=int(mutate.sum()))
+                    copy[mutate] = (copy[mutate] + shift) % 4
+            blocks.append((copy, fi))
+
+    # Split the unique sequence into len(blocks)+1 chunks to interleave.
+    n_copies = len(blocks)
+    unique_seq = random_codes(unique_bases, rng, spec.composition)
+    if n_copies == 0:
+        return Genome(codes=unique_seq, spec=spec)
+    cut_points = np.sort(rng.integers(0, unique_bases + 1, size=n_copies))
+    chunks = np.split(unique_seq, cut_points)
+
+    order = rng.permutation(n_copies)
+    pieces: list[np.ndarray] = []
+    intervals: list[tuple[int, int, int]] = []
+    pos = 0
+    for slot in range(n_copies):
+        pieces.append(chunks[slot])
+        pos += chunks[slot].size
+        copy, fi = blocks[int(order[slot])]
+        intervals.append((pos, pos + copy.size, fi))
+        pieces.append(copy)
+        pos += copy.size
+    pieces.append(chunks[-1])
+    genome = np.concatenate(pieces)
+    assert genome.size == spec.length
+    return Genome(codes=genome, spec=spec, repeat_intervals=intervals)
+
+
+def repeat_spec(
+    length: int,
+    repeat_fraction: float,
+    unit_length: int = 500,
+    composition: tuple[float, float, float, float] = MAIZE_COMPOSITION,
+    n_families: int = 2,
+    copies_per_family: int | None = None,
+) -> GenomeSpec:
+    """Convenience builder: a spec with ~``repeat_fraction`` repeats.
+
+    Splits the repeat budget evenly over ``n_families`` families of
+    ``unit_length``-bp units, mirroring the D1–D3 recipes of Table 3.1
+    at configurable scale.
+    """
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1)")
+    budget = int(length * repeat_fraction)
+    families: list[RepeatFamily] = []
+    if budget > 0:
+        per_family = budget // n_families
+        for _ in range(n_families):
+            mult = (
+                copies_per_family
+                if copies_per_family is not None
+                else max(2, per_family // unit_length)
+            )
+            ul = min(unit_length, max(1, per_family // max(mult, 1)))
+            if ul * mult > 0:
+                families.append(RepeatFamily(length=ul, multiplicity=mult))
+    return GenomeSpec(
+        length=length,
+        repeat_families=tuple(families),
+        composition=composition,
+    )

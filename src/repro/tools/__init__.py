@@ -1,0 +1,10 @@
+"""Command-line tools: simulate, correct, cluster, assemble.
+
+Run any of them as modules::
+
+    python -m repro.tools.simulate out/ --genome-length 20000
+    python -m repro.tools.correct out/reads.fastq out/corrected.fastq \
+        --truth out/truth.fastq
+    python -m repro.tools.cluster sample.fastq clusters/
+    python -m repro.tools.assemble out/corrected.fastq out/contigs.fasta
+"""

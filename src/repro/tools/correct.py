@@ -1,0 +1,103 @@
+"""``python -m repro.tools.correct`` — correct a FASTQ file.
+
+Methods: ``reptile`` (default), ``redeem``, ``hybrid``, ``shrec``,
+``sap``.  Optionally scores the output against a truth FASTQ (as
+written by ``repro.tools.simulate``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-correct",
+        description="Error-correct short reads (Yang 2011 algorithms).",
+    )
+    p.add_argument("input", type=Path, help="input FASTQ")
+    p.add_argument("output", type=Path, help="corrected FASTQ")
+    p.add_argument(
+        "--method",
+        choices=["reptile", "redeem", "hybrid", "shrec", "sap"],
+        default="reptile",
+    )
+    p.add_argument("--k", type=int, default=None, help="k-mer size")
+    p.add_argument("--genome-length", type=int, default=None,
+                   help="genome size estimate (guides k selection)")
+    p.add_argument("--truth", type=Path, default=None,
+                   help="truth FASTQ for scoring")
+    return p
+
+
+def _build_corrector(method: str, reads, k, genome_length):
+    if method == "reptile":
+        from ..core.reptile import ReptileCorrector
+
+        kwargs = {}
+        if k is not None:
+            kwargs["k"] = k
+        return ReptileCorrector.fit(
+            reads, genome_length_estimate=genome_length, **kwargs
+        )
+    if method == "redeem":
+        from ..core.redeem import RedeemCorrector
+
+        return RedeemCorrector.fit(reads, k=k or 12)
+    if method == "hybrid":
+        from ..core.hybrid import HybridCorrector
+
+        return HybridCorrector.fit(
+            reads,
+            k_redeem=k or 12,
+            genome_length_estimate=genome_length,
+        )
+    if method == "shrec":
+        from ..baselines.shrec import ShrecCorrector, ShrecParams
+
+        level = (2 * (k or 9) - 1) if k else 17
+        return ShrecCorrector(
+            reads,
+            ShrecParams(
+                levels=(level,),
+                genome_length=genome_length or 1_000_000,
+            ),
+        )
+    if method == "sap":
+        from ..baselines.spectral import SpectralCorrector, SpectralParams
+
+        return SpectralCorrector(reads, SpectralParams(k=k or 12))
+    raise ValueError(method)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from ..io.fastq import read_fastq, write_fastq
+
+    reads = read_fastq(args.input)
+    print(f"read {reads.n_reads} reads from {args.input}")
+    corrector = _build_corrector(
+        args.method, reads, args.k, args.genome_length
+    )
+    corrected = corrector.correct(reads)
+    n_changed = int((corrected.codes != reads.codes).sum())
+    write_fastq(corrected, args.output)
+    print(f"{args.method}: changed {n_changed} bases; wrote {args.output}")
+
+    if args.truth is not None:
+        from ..eval.correction import evaluate_correction
+
+        truth = read_fastq(args.truth)
+        m = evaluate_correction(
+            reads.codes, corrected.codes, truth.codes, lengths=reads.lengths
+        )
+        print(
+            f"gain={m.gain:.3f} sensitivity={m.sensitivity:.3f} "
+            f"specificity={m.specificity:.5f} EBA={m.eba:.4f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Tests for the de Bruijn assembly substrate."""
+
+import numpy as np
+import pytest
+
+from repro.assembly import (
+    assembly_stats,
+    build_debruijn_graph,
+    extract_unitigs,
+    genome_recovery,
+)
+from repro.io import ReadSet
+from repro.seq import decode, encode
+from repro.simulate import UniformErrorModel, random_genome, simulate_reads
+
+
+def test_graph_structure_simple():
+    rs = ReadSet.from_strings(["ACGTA"])
+    g = build_debruijn_graph(rs, 3)
+    assert g.n_edges == 3  # ACG, CGT, GTA
+    # Edge ACG: src AC, dst CG.
+    from repro.seq import string_to_kmer
+
+    i = int(np.searchsorted(g.kmers, string_to_kmer("ACG")))
+    assert g.src[i] == string_to_kmer("AC")
+    assert g.dst[i] == string_to_kmer("CG")
+
+
+def test_graph_min_count_filter():
+    rs = ReadSet.from_strings(["ACGTA", "ACGTA", "TTTTT"])
+    g1 = build_debruijn_graph(rs, 3, min_count=1)
+    g2 = build_debruijn_graph(rs, 3, min_count=2)
+    assert g2.n_edges <= g1.n_edges
+    assert g2.n_edges == 4  # ACG/CGT/GTA (x2) and TTT (x3)
+
+
+def test_graph_degrees_and_edge_lookup():
+    rs = ReadSet.from_strings(["ACGTA"])
+    g = build_debruijn_graph(rs, 3)
+    out_deg, in_deg = g.node_degrees()
+    from repro.seq import string_to_kmer
+
+    assert out_deg[string_to_kmer("AC")] == 1
+    assert in_deg[string_to_kmer("TA")] == 1
+    edges = g.out_edges(string_to_kmer("CG"))
+    assert edges.size == 1
+
+
+def test_unitig_reconstructs_linear_sequence():
+    seq = "ACGTTGCAAGGTCA"
+    rs = ReadSet.from_strings([seq])
+    g = build_debruijn_graph(rs, 4)
+    unitigs = extract_unitigs(g)
+    assert len(unitigs) == 1
+    assert decode(unitigs[0]) == seq
+
+
+def test_unitig_splits_at_branch():
+    # Two reads sharing a middle: creates a branch node.
+    rs = ReadSet.from_strings(["AAACGTTT", "CCACGTGG"])
+    g = build_debruijn_graph(rs, 4)
+    unitigs = extract_unitigs(g, min_length=4)
+    joined = [decode(u) for u in unitigs]
+    # No unitig spans both reads (ACGT is shared -> branch).
+    for u in joined:
+        assert not ("AAACGTTT" != u and len(u) > 8)
+
+
+def test_unitig_cycle_emitted_once():
+    # A circular sequence: every node unambiguous.
+    seq = "ACGT" * 5 + "ACG"  # wraps ACGT cycle in kmer space
+    rs = ReadSet.from_strings([seq])
+    g = build_debruijn_graph(rs, 3)
+    unitigs = extract_unitigs(g, min_length=3)
+    assert len(unitigs) >= 1
+    total_edges = sum(u.size - 2 for u in unitigs)
+    assert total_edges <= g.n_edges
+
+
+def test_assembly_stats():
+    unitigs = [np.zeros(100, np.uint8), np.zeros(50, np.uint8), np.zeros(30, np.uint8)]
+    s = assembly_stats(unitigs)
+    assert s["n_contigs"] == 3
+    assert s["total_bases"] == 180
+    assert s["longest"] == 100
+    assert s["n50"] == 100  # 100 >= 90 = half of 180
+    assert assembly_stats([])["n50"] == 0
+
+
+def test_error_correction_improves_assembly():
+    """The thesis's motivating claim: correcting reads shrinks the
+    graph and lengthens contigs."""
+    rng = np.random.default_rng(0)
+    genome = random_genome(8000, rng)
+    sim = simulate_reads(
+        genome, 36, UniformErrorModel(36, 0.01), rng, coverage=50.0
+    )
+    k = 15
+
+    g_noisy = build_debruijn_graph(sim.reads, k)
+    from repro.core.reptile import ReptileCorrector
+
+    corr = ReptileCorrector.fit(sim.reads, genome_length_estimate=8000, k=9)
+    corrected = corr.correct(sim.reads)
+    g_clean = build_debruijn_graph(corrected, k)
+
+    # Error k-mers inflate the raw graph.
+    assert g_noisy.n_edges > 1.5 * g_clean.n_edges
+
+    u_noisy = extract_unitigs(g_noisy, min_length=2 * k)
+    u_clean = extract_unitigs(g_clean, min_length=2 * k)
+    s_noisy = assembly_stats(u_noisy)
+    s_clean = assembly_stats(u_clean)
+    assert s_clean["n50"] > s_noisy["n50"]
+
+    rec_noisy = genome_recovery(u_noisy, genome.codes, k)
+    rec_clean = genome_recovery(u_clean, genome.codes, k)
+    assert rec_clean["spurious"] < rec_noisy["spurious"]
+    assert rec_clean["covered"] > 0.9
+
+
+def test_genome_recovery_perfect_contig():
+    genome = random_genome(500, np.random.default_rng(1))
+    rec = genome_recovery([genome.codes], genome.codes, 15)
+    assert rec["covered"] == pytest.approx(1.0)
+    assert rec["spurious"] == 0.0
+    assert genome_recovery([], genome.codes, 15) == {
+        "covered": 0.0,
+        "spurious": 0.0,
+    }

@@ -1,0 +1,117 @@
+"""Tests for the SHREC-like and spectral baseline correctors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ShrecCorrector,
+    ShrecParams,
+    SpectralCorrector,
+    SpectralParams,
+    naive_y_scores,
+)
+from repro.eval import evaluate_correction
+from repro.io import ReadSet
+from repro.simulate import UniformErrorModel, random_genome, simulate_reads
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    g = random_genome(10_000, np.random.default_rng(0))
+    sim = simulate_reads(
+        g, 36, UniformErrorModel(36, 0.01), np.random.default_rng(1), coverage=50.0
+    )
+    return sim
+
+
+def test_shrec_positive_gain(dataset):
+    params = ShrecParams(levels=(15,), alpha=4.0, genome_length=10_000)
+    c = ShrecCorrector(dataset.reads, params)
+    sub = dataset.reads.subset(np.arange(3000))
+    out = c.correct(sub)
+    m = evaluate_correction(sub.codes, out.codes, dataset.true_codes[:3000])
+    assert m.gain > 0.2, m.as_dict()
+    assert m.tp > 0
+
+
+def test_shrec_thresholds_sane(dataset):
+    c = ShrecCorrector(
+        dataset.reads, ShrecParams(levels=(15,), genome_length=10_000)
+    )
+    weak, strong = c.thresholds(15)
+    # Coverage 50x -> expected count per genomic 15-mer well above 1.
+    assert weak > 1.0
+    assert strong >= 2.0
+
+
+def test_shrec_level_too_long():
+    rs = ReadSet.from_strings(["ACGT" * 10])
+    with pytest.raises(ValueError):
+        ShrecCorrector(rs, ShrecParams(levels=(32,)))
+
+
+def test_shrec_clean_reads_mostly_untouched(dataset):
+    clean = simulate_reads(
+        dataset.genome,
+        36,
+        UniformErrorModel(36, 0.0),
+        np.random.default_rng(5),
+        coverage=5.0,
+    )
+    c = ShrecCorrector(
+        dataset.reads, ShrecParams(levels=(15,), alpha=4.0, genome_length=10_000)
+    )
+    out = c.correct(clean.reads.subset(np.arange(300)))
+    frac_changed = (out.codes != clean.reads.codes[:300]).mean()
+    assert frac_changed < 0.01
+
+
+def test_shrec_handles_n_bases(dataset):
+    c = ShrecCorrector(
+        dataset.reads, ShrecParams(levels=(15,), genome_length=10_000)
+    )
+    rs = ReadSet.from_strings(["ACGTN" + "ACGT" * 10])
+    out = c.correct(rs)  # must not crash; N breaks windows
+    assert out.n_reads == 1
+
+
+def test_spectral_positive_gain(dataset):
+    c = SpectralCorrector(dataset.reads, SpectralParams(k=12, m=4))
+    sub = dataset.reads.subset(np.arange(1500))
+    out = c.correct(sub)
+    m = evaluate_correction(sub.codes, out.codes, dataset.true_codes[:1500])
+    assert m.gain > 0.2, m.as_dict()
+
+
+def test_spectral_weak_profile_and_fixable(dataset):
+    c = SpectralCorrector(dataset.reads, SpectralParams(k=12, m=3))
+    # A genomic read: no weak kmers; an alien read: all weak.
+    genomic = dataset.genome.codes[100:136].copy()
+    nw, cover = c._weak_profile(genomic)
+    assert nw == 0 and (cover == 0).all()
+    alien = np.tile(np.array([0, 0, 1, 3], dtype=np.uint8), 9)
+    nw2, cover2 = c._weak_profile(alien)
+    assert nw2 > 0
+    assert c.is_fixable(genomic)
+
+
+def test_spectral_edit_budget(dataset):
+    c = SpectralCorrector(dataset.reads, SpectralParams(k=12, m=4, max_edits_per_read=1))
+    sub = dataset.reads.subset(np.arange(200))
+    out = c.correct(sub)
+    per_read_changes = (out.codes != sub.codes).sum(axis=1)
+    assert per_read_changes.max() <= 1
+
+
+def test_naive_y_scores(dataset):
+    c = SpectralCorrector(dataset.reads, SpectralParams(k=12, m=3))
+    y = naive_y_scores(c.spectrum)
+    assert y.shape == (c.spectrum.n_kmers,)
+    assert (y >= 1).all()
+
+
+def test_spectral_short_read_skipped(dataset):
+    c = SpectralCorrector(dataset.reads, SpectralParams(k=12, m=3))
+    rs = ReadSet.from_strings(["ACGT"])
+    out = c.correct(rs)
+    assert out.sequences() == ["ACGT"]

@@ -1,0 +1,127 @@
+"""Tests for the Cd-hit-like and classification baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    UNCLASSIFIED,
+    ReferenceDatabase,
+    classification_report,
+    classify_reads,
+    greedy_length_clustering,
+    length_bias_score,
+)
+from repro.eval import clustering_ari
+from repro.io import ReadSet
+from repro.simulate import (
+    TaxonomySpec,
+    simulate_metagenome,
+    simulate_taxonomy,
+)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    spec = TaxonomySpec(
+        gene_length=700,
+        branching={"phylum": 2, "family": 2, "genus": 2, "species": 2},
+    )
+    tax = simulate_taxonomy(spec, np.random.default_rng(0))
+    return simulate_metagenome(
+        tax,
+        300,
+        np.random.default_rng(1),
+        read_length_mean=300,
+        read_length_sd=30,
+        min_length=200,
+        max_length=450,
+        error_rate=0.005,
+        abundance_sigma=0.3,
+    )
+
+
+# -- greedy (Cd-hit-like) clustering -----------------------------------------
+def test_greedy_clustering_partitions(sample):
+    res = greedy_length_clustering(sample.reads, k=14, threshold=0.4)
+    all_members = np.concatenate(res.clusters)
+    assert sorted(all_members.tolist()) == list(range(sample.n_reads))
+    assert len(res.representatives) == len(res.clusters)
+    # Representatives sit in their own clusters.
+    for rep, c in zip(res.representatives, res.clusters):
+        assert rep in c.tolist()
+
+
+def test_greedy_clustering_quality(sample):
+    res = greedy_length_clustering(sample.reads, k=14, threshold=0.4)
+    species = sample.true_labels("species")
+    ari = clustering_ari(res.clusters, species)
+    assert ari > 0.05  # coarse, but far from random
+
+
+def test_greedy_clustering_comparisons_bounded(sample):
+    res = greedy_length_clustering(sample.reads, k=14, threshold=0.4)
+    n = sample.n_reads
+    assert res.n_comparisons <= n * (n - 1)
+
+
+def test_greedy_representatives_are_long(sample):
+    """The length bias: the first representative is the longest read."""
+    res = greedy_length_clustering(sample.reads, k=14, threshold=0.4)
+    first_rep = res.representatives[0]
+    assert sample.reads.lengths[first_rep] == sample.reads.lengths.max()
+
+
+def test_length_bias_score(sample):
+    res = greedy_length_clustering(sample.reads, k=14, threshold=0.35)
+    bias = length_bias_score(res, sample.reads, k=14)
+    assert 0.0 <= bias <= 1.0
+    with pytest.raises(ValueError):
+        length_bias_score(res, sample.reads)
+
+
+def test_identical_reads_cluster_together():
+    rs = ReadSet.from_strings(["ACGTACGTACGTACGTACGT"] * 3 + ["TTTT" * 5])
+    res = greedy_length_clustering(rs, k=8, threshold=0.9)
+    sizes = sorted(len(c) for c in res.clusters)
+    assert sizes == [1, 3]
+
+
+# -- classification -----------------------------------------------------------
+def test_classification_with_full_database(sample):
+    tax = sample.taxonomy
+    db = ReferenceDatabase.from_sequences(
+        tax.genes, tax.units_at_rank("species"), k=14
+    )
+    assert db.n_references == tax.n_species
+    predicted = classify_reads(sample.reads, db, min_similarity=0.4)
+    truth = sample.true_labels("species")
+    report = classification_report(predicted, truth)
+    assert report["classified_fraction"] > 0.9
+    assert report["accuracy_on_classified"] > 0.85
+
+
+def test_classification_with_partial_database(sample):
+    """Undocumented species go unclassified — the thesis's argument
+    for de-novo clustering."""
+    tax = sample.taxonomy
+    keep = np.arange(tax.n_species) < tax.n_species // 2
+    db = ReferenceDatabase.from_sequences(
+        [g for g, k_ in zip(tax.genes, keep) if k_],
+        tax.units_at_rank("species")[keep],
+        k=14,
+    )
+    predicted = classify_reads(sample.reads, db, min_similarity=0.6)
+    truth = sample.true_labels("species")
+    known = keep[sample.species_of_read]
+    # Reads of documented species classify well...
+    rep_known = classification_report(predicted[known], truth[known])
+    assert rep_known["classified_fraction"] > 0.7
+    # ...reads of novel species mostly cannot be classified.
+    rep_novel = classification_report(predicted[~known], truth[~known])
+    assert rep_novel["classified_fraction"] < rep_known["classified_fraction"]
+
+
+def test_classification_report_empty():
+    r = classification_report(np.array([UNCLASSIFIED]), np.array([3]))
+    assert r["classified_fraction"] == 0.0
+    assert r["accuracy_on_classified"] == 0.0

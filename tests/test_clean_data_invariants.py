@@ -1,0 +1,74 @@
+"""Do-no-harm invariants: every corrector on error-free data."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FrecluCorrector,
+    SpectralCorrector,
+    SpectralParams,
+)
+from repro.core.redeem import RedeemCorrector
+from repro.core.reptile import ReptileCorrector
+from repro.simulate import (
+    UniformErrorModel,
+    random_genome,
+    simulate_reads,
+    simulate_transcriptome,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_sim():
+    g = random_genome(8000, np.random.default_rng(0))
+    return simulate_reads(
+        g, 36, UniformErrorModel(36, 0.0), np.random.default_rng(1),
+        coverage=40.0,
+    )
+
+
+def test_reptile_clean_data_untouched(clean_sim):
+    corr = ReptileCorrector.fit(
+        clean_sim.reads, genome_length_estimate=8000, k=9
+    )
+    out = corr.correct(clean_sim.reads.subset(np.arange(1500)))
+    changed = (out.codes != clean_sim.reads.codes[:1500]).mean()
+    assert changed < 0.001
+
+
+def test_redeem_clean_data_flags_little(clean_sim):
+    corr = RedeemCorrector.fit(clean_sim.reads, k=9)
+    # With no errors, T should track Y closely everywhere.
+    rel = np.abs(corr.T - corr.Y) / np.maximum(corr.Y, 1)
+    assert np.median(rel) < 0.05
+    out, stats = corr.correct_with_stats(
+        clean_sim.reads.subset(np.arange(800))
+    )
+    changed = (out.codes != clean_sim.reads.codes[:800]).mean()
+    assert changed < 0.005
+
+
+def test_spectral_clean_data_untouched(clean_sim):
+    corr = SpectralCorrector(clean_sim.reads, SpectralParams(k=12, m=3))
+    out = corr.correct(clean_sim.reads.subset(np.arange(500)))
+    assert (out.codes == clean_sim.reads.codes[:500]).all()
+
+
+def test_freclu_clean_transcriptome_untouched():
+    sample = simulate_transcriptome(
+        n_transcripts=8, n_reads=500, rng=np.random.default_rng(2),
+        error_rate=0.0,
+    )
+    out = FrecluCorrector().correct(sample.reads)
+    assert (out.reads.codes == sample.reads.codes).all()
+
+
+def test_reptile_correction_is_stable(clean_sim):
+    """Correcting twice equals correcting once on clean data."""
+    corr = ReptileCorrector.fit(
+        clean_sim.reads, genome_length_estimate=8000, k=9
+    )
+    sub = clean_sim.reads.subset(np.arange(300))
+    once = corr.correct(sub)
+    twice = corr.correct(once)
+    assert (once.codes == twice.codes).all()

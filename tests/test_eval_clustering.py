@@ -1,0 +1,110 @@
+"""Tests for clustering metrics (ARI & friends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    adjusted_rand_index,
+    cluster_purity,
+    clustering_ari,
+    contingency_table,
+    harden_clusters,
+)
+
+
+def test_contingency_basic():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([0, 1, 1, 1])
+    t = contingency_table(a, b)
+    assert t.tolist() == [[1, 1], [0, 2]]
+    assert t.sum() == 4
+
+
+def test_contingency_length_mismatch():
+    with pytest.raises(ValueError):
+        contingency_table(np.array([0]), np.array([0, 1]))
+
+
+def test_ari_identical_is_one():
+    a = np.array([0, 0, 1, 1, 2])
+    assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+    # Invariant to label renaming.
+    assert adjusted_rand_index(a, a + 10) == pytest.approx(1.0)
+
+
+def test_ari_independent_near_zero():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 5, 2000)
+    b = rng.integers(0, 5, 2000)
+    assert abs(adjusted_rand_index(a, b)) < 0.02
+
+
+def test_ari_known_value():
+    # Classic example: ARI is symmetric and below 1 for partial agreement.
+    a = np.array([0, 0, 0, 1, 1, 1])
+    b = np.array([0, 0, 1, 1, 2, 2])
+    v = adjusted_rand_index(a, b)
+    assert 0 < v < 1
+    assert v == pytest.approx(adjusted_rand_index(b, a))
+
+
+def test_ari_trivial_cases():
+    assert adjusted_rand_index(np.array([0]), np.array([0])) == 1.0
+    # All singletons vs all singletons.
+    a = np.arange(5)
+    assert adjusted_rand_index(a, a) == 1.0
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+def test_ari_self_agreement(labels):
+    a = np.array(labels)
+    assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=30),
+    st.lists(st.integers(0, 3), min_size=2, max_size=30),
+)
+def test_ari_bounded(la, lb):
+    n = min(len(la), len(lb))
+    v = adjusted_rand_index(np.array(la[:n]), np.array(lb[:n]))
+    assert -1.0 <= v <= 1.0
+
+
+def test_harden_clusters_largest():
+    clusters = [np.array([0, 1]), np.array([1, 2, 3])]
+    labels = harden_clusters(clusters, 5)
+    assert labels[1] == 1  # larger cluster wins
+    assert labels[0] == 0
+    assert labels[4] >= 2  # singleton gets fresh label
+
+
+def test_harden_clusters_first():
+    clusters = [np.array([0, 1]), np.array([1, 2, 3])]
+    labels = harden_clusters(clusters, 4, strategy="first")
+    assert labels[1] == 0
+
+
+def test_harden_invalid_strategy():
+    with pytest.raises(ValueError):
+        harden_clusters([], 3, strategy="random")
+
+
+def test_clustering_ari_end_to_end():
+    true = np.array([0, 0, 0, 1, 1, 1])
+    clusters = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+    assert clustering_ari(clusters, true) == pytest.approx(1.0)
+
+
+def test_cluster_purity():
+    true = np.array([0, 0, 1, 1])
+    perfect = [np.array([0, 1]), np.array([2, 3])]
+    mixed = [np.array([0, 2]), np.array([1, 3])]
+    assert cluster_purity(perfect, true) == 1.0
+    assert cluster_purity(mixed, true) == 0.5
+    assert cluster_purity([], true) == 0.0
+    assert cluster_purity([np.array([], dtype=int)], true) == 0.0

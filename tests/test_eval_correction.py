@@ -1,0 +1,110 @@
+"""Tests for base-level correction metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    CorrectionMetrics,
+    ambiguous_base_accuracy,
+    evaluate_correction,
+)
+
+
+def codes(*rows):
+    return np.array(rows, dtype=np.uint8)
+
+
+def test_perfect_correction():
+    true = codes([0, 1, 2, 3])
+    orig = codes([0, 1, 2, 0])  # one error at pos 3
+    corr = true.copy()
+    m = evaluate_correction(orig, corr, true)
+    assert (m.tp, m.fp, m.tn, m.fn, m.ne) == (1, 0, 3, 0, 0)
+    assert m.sensitivity == 1.0
+    assert m.gain == 1.0
+    assert m.eba == 0.0
+
+
+def test_no_correction():
+    true = codes([0, 1, 2, 3])
+    orig = codes([0, 1, 2, 0])
+    m = evaluate_correction(orig, orig, true)
+    assert (m.tp, m.fn) == (0, 1)
+    assert m.gain == 0.0
+    assert m.sensitivity == 0.0
+
+
+def test_miscorrection_counts_fp_and_negative_gain():
+    true = codes([0, 1, 2, 3])
+    orig = true.copy()
+    corr = codes([1, 1, 2, 3])  # corrupted a correct base
+    m = evaluate_correction(orig, corr, true)
+    assert m.fp == 1 and m.tp == 0
+    # No errors existed, gain denominator 0 -> 0.0 by convention.
+    assert m.gain == 0.0
+
+
+def test_negative_gain():
+    true = codes([0, 1, 2, 3, 0, 1])
+    orig = codes([3, 1, 2, 3, 0, 1])  # one real error
+    corr = codes([0, 2, 3, 3, 0, 1])  # fixed it, broke two others
+    m = evaluate_correction(orig, corr, true)
+    assert m.tp == 1 and m.fp == 2
+    assert m.gain == pytest.approx(-1.0)
+
+
+def test_eba_wrong_base_assignment():
+    true = codes([0, 1])
+    orig = codes([3, 1])
+    corr = codes([2, 1])  # identified the error, wrong target
+    m = evaluate_correction(orig, corr, true)
+    assert m.ne == 1 and m.tp == 0
+    assert m.eba == 1.0
+
+
+def test_lengths_mask_padding():
+    true = codes([0, 1, 2, 3])
+    orig = codes([0, 1, 9, 9])  # cols 2,3 are padding junk
+    corr = orig.copy()
+    m = evaluate_correction(orig, corr, true, lengths=np.array([2]))
+    assert (m.tp + m.fp + m.tn + m.fn + m.ne) == 2
+    assert m.tn == 2
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        evaluate_correction(codes([0, 1]), codes([0]), codes([0, 1]))
+
+
+def test_metrics_as_dict_keys():
+    m = CorrectionMetrics(tp=1, fp=2, tn=3, fn=4, ne=5)
+    d = m.as_dict()
+    assert d["TP"] == 1 and d["EBA"] == pytest.approx(5 / 6)
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 3).flatmap(lambda _: st.tuples(
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),
+)))
+def test_counts_partition_all_bases(triple):
+    true, orig, corr = (codes(list(t)) for t in triple)
+    m = evaluate_correction(orig, corr, true)
+    assert m.tp + m.fp + m.tn + m.fn + m.ne == 4
+
+
+def test_ambiguous_base_accuracy():
+    true = codes([0, 1, 2, 3])
+    orig = codes([4, 4, 2, 3])  # two Ns
+    corr = codes([0, 2, 2, 3])  # first fixed right, second wrong
+    mask = orig == 4
+    acc = ambiguous_base_accuracy(orig, corr, true, mask)
+    assert acc == pytest.approx(0.5)
+
+
+def test_ambiguous_accuracy_none_touched():
+    orig = codes([4, 4])
+    assert ambiguous_base_accuracy(orig, orig, codes([0, 1]), orig == 4) == 0.0

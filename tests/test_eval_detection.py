@@ -1,0 +1,76 @@
+"""Tests for k-mer detection curves."""
+
+import numpy as np
+import pytest
+
+from repro.eval import detection_curve, genomic_truth
+from repro.io import ReadSet
+from repro.kmer import spectrum_from_reads, spectrum_from_sequence
+from repro.seq import encode
+
+
+def test_curve_perfect_separation():
+    # Erroneous kmers score 1, genomic score 10: threshold in (1, 10] is perfect.
+    scores = np.array([1.0, 1.0, 10.0, 10.0, 10.0])
+    is_genomic = np.array([False, False, True, True, True])
+    curve = detection_curve(scores, is_genomic, thresholds=np.array([0.0, 2.0, 11.0]))
+    assert curve.fn.tolist() == [2, 0, 0]
+    assert curve.fp.tolist() == [0, 0, 3]
+    assert curve.min_wrong_predictions() == 0
+    assert curve.best_threshold() == 2.0
+
+
+def test_curve_counts_at_extremes():
+    scores = np.array([1.0, 2.0, 3.0])
+    is_genomic = np.array([False, True, True])
+    # Threshold 0: nothing flagged -> FN = #err; huge threshold: all flagged.
+    curve = detection_curve(scores, is_genomic, thresholds=np.array([0.0, 100.0]))
+    assert curve.fn[0] == 1 and curve.fp[0] == 0
+    assert curve.fp[1] == 2 and curve.fn[1] == 0
+
+
+def test_curve_u_shape_monotone_components():
+    rng = np.random.default_rng(0)
+    genomic = rng.normal(50, 10, 500)
+    errs = rng.normal(2, 1, 100)
+    scores = np.concatenate([genomic, errs])
+    truth = np.concatenate([np.ones(500, bool), np.zeros(100, bool)])
+    curve = detection_curve(scores, truth)
+    # FP non-decreasing, FN non-increasing in the threshold.
+    assert (np.diff(curve.fp) >= 0).all()
+    assert (np.diff(curve.fn) <= 0).all()
+    assert curve.min_wrong_predictions() <= 5
+
+
+def test_log_wrong_predictions_clamped():
+    curve = detection_curve(
+        np.array([1.0, 10.0]),
+        np.array([False, True]),
+        thresholds=np.array([5.0]),
+    )
+    assert curve.wrong_predictions[0] == 0
+    assert curve.log_wrong_predictions()[0] == 0.0
+
+
+def test_shape_mismatch():
+    with pytest.raises(ValueError):
+        detection_curve(np.zeros(3), np.zeros(4, bool))
+
+
+def test_default_threshold_grid():
+    curve = detection_curve(np.array([1.0, 5.0]), np.array([False, True]))
+    assert curve.thresholds.size == 200
+
+
+def test_genomic_truth_against_spectrum():
+    genome = encode("ACGTACGTTTACGG")
+    gspec = spectrum_from_sequence(genome, 4, both_strands=True)
+    reads = ReadSet.from_strings(["ACGTACGT", "AAAAAAA"])
+    rspec = spectrum_from_reads(reads, 4, both_strands=False)
+    truth = genomic_truth(rspec.kmers, gspec)
+    # ACGT-derived kmers are genomic; AAAA is not.
+    from repro.seq import string_to_kmer
+
+    idx = rspec.index_of(np.array([string_to_kmer("AAAA")], dtype=np.uint64))[0]
+    assert not truth[idx]
+    assert truth.sum() >= 4

@@ -1,0 +1,157 @@
+"""Tests for edit distance, the 454 simulator, and indel-aware SHREC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Shrec454Corrector, ShrecParams
+from repro.seq import edit_distance, mean_edit_distance
+from repro.simulate import random_genome, simulate_454_reads
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=20)
+
+
+# -- edit distance ------------------------------------------------------------
+def test_edit_distance_basics():
+    assert edit_distance("ACGT", "ACGT") == 0
+    assert edit_distance("ACGT", "AGT") == 1  # deletion
+    assert edit_distance("ACGT", "ACGTT") == 1  # insertion
+    assert edit_distance("ACGT", "AGGT") == 1  # substitution
+    assert edit_distance("", "ACGT") == 4
+    assert edit_distance("ACGT", "") == 4
+
+
+def _ref_edit(a: str, b: str) -> int:
+    n, m = len(a), len(b)
+    d = list(range(m + 1))
+    for i in range(1, n + 1):
+        prev_diag, d[0] = d[0], i
+        for j in range(1, m + 1):
+            prev_diag, d[j] = d[j], min(
+                prev_diag + (a[i - 1] != b[j - 1]), d[j] + 1, d[j - 1] + 1
+            )
+    return d[m]
+
+
+@settings(max_examples=80, deadline=None)
+@given(dna, dna)
+def test_edit_distance_matches_reference(a, b):
+    assert edit_distance(a, b) == _ref_edit(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna, dna)
+def test_edit_distance_symmetric_and_bounded(a, b):
+    d = edit_distance(a, b)
+    assert d == edit_distance(b, a)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+def test_edit_distance_band_exactness():
+    a = "ACGTACGTACGTACGT"
+    b = "ACGTTCGTACGTACG"  # 1 sub + 1 del
+    assert edit_distance(a, b, band=4) == edit_distance(a, b)
+
+
+def test_mean_edit_distance():
+    from repro.seq import encode
+
+    pairs = [(encode("ACGT"), encode("ACGT")), (encode("ACGT"), encode("AGT"))]
+    assert mean_edit_distance(pairs) == pytest.approx(0.5)
+    assert mean_edit_distance([]) == 0.0
+
+
+# -- 454 simulator ----------------------------------------------------------
+@pytest.fixture(scope="module")
+def sim454():
+    g = random_genome(12_000, np.random.default_rng(0))
+    return simulate_454_reads(
+        g, 2500, np.random.default_rng(1), read_length_mean=110
+    )
+
+
+def test_454_reads_variable_length(sim454):
+    assert sim454.reads.uniform_length is None
+    # Indels shift lengths around the target.
+    assert sim454.reads.lengths.std() > 0
+
+
+def test_454_errors_are_indels_and_subs(sim454):
+    dists = [
+        edit_distance(sim454.reads.read_codes(i), sim454.true_fragments[i])
+        for i in range(300)
+    ]
+    dists = np.array(dists)
+    assert dists.mean() > 0.5  # errors exist
+    # Length changes prove genuine indels (not just substitutions).
+    dlen = np.array(
+        [
+            sim454.reads.lengths[i] - sim454.true_fragments[i].size
+            for i in range(300)
+        ]
+    )
+    assert (dlen != 0).any()
+
+
+def test_454_homopolymer_bias():
+    """Indels concentrate in homopolymer runs."""
+    from repro.io import ReadSet
+    from repro.simulate.pyro import _corrupt_with_indels
+
+    rng = np.random.default_rng(7)
+    runs = np.zeros(4000, dtype=np.uint8)  # all-A homopolymer
+    mixed = np.tile(np.array([0, 1, 2, 3], dtype=np.uint8), 1000)
+    n_run = sum(
+        _corrupt_with_indels(runs, rng, 0.0, 0.01, 0.0, 8.0).size - 4000
+        for _ in range(5)
+    )
+    n_mix = sum(
+        _corrupt_with_indels(mixed, rng, 0.0, 0.01, 0.0, 8.0).size - 4000
+        for _ in range(5)
+    )
+    assert n_run > 2 * max(n_mix, 1)
+
+
+# -- indel-aware SHREC --------------------------------------------------------
+def test_shrec454_reduces_edit_distance(sim454):
+    c = Shrec454Corrector(
+        sim454.reads,
+        ShrecParams(levels=(17,), alpha=4.0, genome_length=12_000),
+    )
+    n = 250
+    before = mean_edit_distance(
+        [
+            (sim454.reads.read_codes(i), sim454.true_fragments[i])
+            for i in range(n)
+        ]
+    )
+    out = c.correct_variable(sim454.reads.subset(np.arange(n)))
+    after = mean_edit_distance(
+        [(out.read_codes(i), sim454.true_fragments[i]) for i in range(n)]
+    )
+    assert after < 0.85 * before, (before, after)
+
+
+def test_shrec454_handles_clean_reads(sim454):
+    """Error-free fragments should pass through nearly untouched."""
+    from repro.io import PAD, ReadSet
+
+    n = 150
+    frags = sim454.true_fragments[:n]
+    lmax = max(f.size for f in frags)
+    codes = np.full((n, lmax), PAD, dtype=np.uint8)
+    lengths = np.empty(n, dtype=np.int32)
+    for i, f in enumerate(frags):
+        codes[i, : f.size] = f
+        lengths[i] = f.size
+    clean = ReadSet(codes=codes, lengths=lengths)
+    c = Shrec454Corrector(
+        sim454.reads,
+        ShrecParams(levels=(17,), alpha=4.0, genome_length=12_000),
+    )
+    out = c.correct_variable(clean)
+    changed = mean_edit_distance(
+        [(out.read_codes(i), frags[i]) for i in range(n)]
+    )
+    assert changed < 0.2

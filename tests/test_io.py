@@ -1,0 +1,155 @@
+"""Tests for repro.io: quality codecs, ReadSet, FASTA/FASTQ round trips."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io import (
+    PAD,
+    ReadSet,
+    decode_quality,
+    encode_quality,
+    error_prob_to_phred,
+    parse_fasta,
+    parse_fastq,
+    phred_to_error_prob,
+    read_fastq,
+    write_fasta,
+    write_fastq,
+)
+
+
+# -- quality ----------------------------------------------------------------
+def test_phred_prob_roundtrip():
+    q = np.array([10, 20, 30])
+    p = phred_to_error_prob(q)
+    assert np.allclose(p, [0.1, 0.01, 0.001])
+    assert np.allclose(error_prob_to_phred(p), q)
+
+
+def test_quality_string_roundtrip():
+    scores = np.array([0, 2, 40, 41], dtype=np.int16)
+    assert (decode_quality(encode_quality(scores)) == scores).all()
+
+
+def test_decode_quality_wrong_offset():
+    with pytest.raises(ValueError):
+        decode_quality("!!", offset=64)
+
+
+@given(st.lists(st.integers(0, 60), min_size=1, max_size=100))
+def test_quality_roundtrip_property(scores):
+    arr = np.array(scores, dtype=np.int16)
+    assert (decode_quality(encode_quality(arr)) == arr).all()
+
+
+# -- ReadSet ------------------------------------------------------------------
+def test_readset_from_strings_uniform():
+    rs = ReadSet.from_strings(["ACGT", "TTTT"])
+    assert rs.n_reads == 2
+    assert rs.uniform_length == 4
+    assert rs.sequences() == ["ACGT", "TTTT"]
+
+
+def test_readset_variable_length_padding():
+    rs = ReadSet.from_strings(["ACGT", "AC"])
+    assert rs.uniform_length is None
+    assert rs.max_length == 4
+    assert rs.codes[1, 2] == PAD and rs.codes[1, 3] == PAD
+    assert rs.sequence(1) == "AC"
+
+
+def test_readset_quals():
+    rs = ReadSet.from_strings(["ACG"], quals=[np.array([10, 20, 30])])
+    assert rs.read_quals(0).tolist() == [10, 20, 30]
+
+
+def test_readset_qual_length_mismatch():
+    with pytest.raises(ValueError):
+        ReadSet.from_strings(["ACG"], quals=[np.array([10])])
+
+
+def test_readset_subset_bool_and_index():
+    rs = ReadSet.from_strings(["AAAA", "CCCC", "GGGG"], names=["a", "b", "c"])
+    sub = rs.subset(np.array([0, 2]))
+    assert sub.sequences() == ["AAAA", "GGGG"]
+    assert sub.names == ["a", "c"]
+    sub2 = rs.subset(np.array([False, True, False]))
+    assert sub2.sequences() == ["CCCC"]
+    assert sub2.names == ["b"]
+
+
+def test_readset_coverage_and_bases():
+    rs = ReadSet.from_strings(["ACGT", "AC"])
+    assert rs.total_bases == 6
+    assert rs.coverage(12) == pytest.approx(0.5)
+
+
+def test_readset_ambiguous():
+    rs = ReadSet.from_strings(["ANGT", "ACGT"])
+    assert rs.has_ambiguous().tolist() == [True, False]
+    # Padding must not count as ambiguous.
+    rs2 = ReadSet.from_strings(["ACGT", "AC"])
+    assert rs2.has_ambiguous().tolist() == [False, False]
+
+
+def test_readset_reverse_complement():
+    rs = ReadSet.from_strings(["AACG", "TT"], quals=[np.arange(4), np.arange(2)])
+    rc = rs.reverse_complement()
+    assert rc.sequence(0) == "CGTT"
+    assert rc.sequence(1) == "AA"
+    assert rc.read_quals(0).tolist() == [3, 2, 1, 0]
+
+
+# -- FASTA --------------------------------------------------------------------
+def test_fasta_roundtrip():
+    records = [("seq1", "ACGTACGT" * 20), ("seq2", "TTTT")]
+    buf = io.StringIO()
+    write_fasta(records, buf, width=30)
+    buf.seek(0)
+    assert list(parse_fasta(buf)) == records
+
+
+def test_fasta_file_roundtrip(tmp_path):
+    path = tmp_path / "x.fa"
+    write_fasta([("g", "ACGT")], path)
+    assert list(parse_fasta(path)) == [("g", "ACGT")]
+
+
+def test_fasta_data_before_header():
+    with pytest.raises(ValueError):
+        list(parse_fasta(io.StringIO("ACGT\n>x\nACGT\n")))
+
+
+# -- FASTQ ---------------------------------------------------------------------
+def test_fastq_roundtrip(tmp_path):
+    rs = ReadSet.from_strings(
+        ["ACGT", "NNTT"],
+        quals=[np.array([40, 40, 2, 30]), np.array([2, 2, 35, 35])],
+        names=["r0", "r1"],
+    )
+    path = tmp_path / "x.fq"
+    write_fastq(rs, path)
+    back = read_fastq(path)
+    assert back.sequences() == rs.sequences()
+    assert back.names == ["r0", "r1"]
+    assert (back.quals == rs.quals).all()
+
+
+def test_fastq_malformed():
+    with pytest.raises(ValueError):
+        list(parse_fastq(io.StringIO("@x\nACGT\nBAD\nIIII\n")))
+    with pytest.raises(ValueError):
+        list(parse_fastq(io.StringIO("@x\nACGT\n+\nII\n")))
+
+
+def test_fastq_default_quality():
+    rs = ReadSet.from_strings(["ACGT"])
+    buf = io.StringIO()
+    write_fastq(rs, buf)
+    buf.seek(0)
+    _, _, q = next(parse_fastq(buf))
+    assert (q == 40).all()

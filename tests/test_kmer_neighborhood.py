@@ -1,0 +1,148 @@
+"""Tests for Hamming-ball enumeration and neighbor indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import ReadSet
+from repro.kmer import (
+    MaskedKmerIndex,
+    PrecomputedNeighborIndex,
+    ProbingNeighborIndex,
+    complete_neighbors,
+    neighborhood_size,
+    neighbors_d1,
+    neighbors_d1_batch,
+    spectrum_from_reads,
+    xor_patterns,
+)
+from repro.seq import kmer_hamming_scalar, string_to_kmer
+
+kcodes = st.integers(0, 2**20 - 1)  # k = 10
+
+
+def test_neighbors_d1_count_and_distance():
+    code = string_to_kmer("ACGTA")
+    nb = neighbors_d1(code, 5)
+    assert nb.size == 15
+    assert len(set(nb.tolist())) == 15
+    for x in nb.tolist():
+        assert kmer_hamming_scalar(code, x) == 1
+
+
+def test_neighbors_d1_batch_matches_single():
+    codes = np.array([0, 5, 999], dtype=np.uint64)
+    batch = neighbors_d1_batch(codes, 5)
+    for i, c in enumerate(codes.tolist()):
+        assert set(batch[i].tolist()) == set(neighbors_d1(c, 5).tolist())
+
+
+def test_complete_neighbors_d2_size():
+    k = 6
+    ball = complete_neighbors(0, k, 2)
+    assert ball.size == neighborhood_size(k, 2)
+    assert len(set(ball.tolist())) == ball.size
+
+
+@settings(max_examples=25)
+@given(kcodes, st.integers(0, 2))
+def test_complete_neighbors_exact_ball(code, d):
+    k = 10
+    ball = set(complete_neighbors(code, k, d).tolist())
+    # Every member is within distance d; self included.
+    assert code in ball
+    for x in list(ball)[:50]:
+        assert kmer_hamming_scalar(code, x) <= d
+    assert len(ball) == neighborhood_size(k, d)
+
+
+def test_xor_patterns_give_distances():
+    k, d = 8, 2
+    pats = xor_patterns(k, d)
+    dists = [kmer_hamming_scalar(0, int(p)) for p in pats.tolist()]
+    assert min(dists) == 1 and max(dists) == 2
+    assert len(pats) == neighborhood_size(k, d) - 1
+
+
+def _spectrum(seqs, k):
+    return spectrum_from_reads(ReadSet.from_strings(seqs), k, both_strands=False)
+
+
+def test_probing_index_basic():
+    spec = _spectrum(["AAAAA", "AAAAT", "AAATT", "TTTTT"], 5)
+    idx = ProbingNeighborIndex(spec, 1)
+    nb = idx.neighbors(string_to_kmer("AAAAA"))
+    assert set(nb.tolist()) == {string_to_kmer("AAAAT")}
+    nb2 = idx.neighbors(string_to_kmer("AAAAA"), include_self=True)
+    assert string_to_kmer("AAAAA") in set(nb2.tolist())
+
+
+def test_precomputed_matches_probing_d1():
+    rng = np.random.default_rng(0)
+    seqs = ["".join("ACGT"[c] for c in rng.integers(0, 4, 30)) for _ in range(40)]
+    k = 7
+    spec = _spectrum(seqs, k)
+    probe = ProbingNeighborIndex(spec, 1)
+    pre = PrecomputedNeighborIndex(spec, 1)
+    for code in spec.kmers[::17].tolist():
+        assert probe.neighbors(code).tolist() == pre.neighbors(code).tolist()
+
+
+def test_precomputed_include_self():
+    spec = _spectrum(["AAAAA", "AAAAT"], 5)
+    pre = PrecomputedNeighborIndex(spec, 1, include_self=True)
+    i = int(spec.index_of(np.array([string_to_kmer("AAAAA")], dtype=np.uint64))[0])
+    nbrs = pre.neighbors_of(i)
+    assert i in nbrs.tolist()
+    # include_self adjacency strips self when asked not to include it.
+    out = pre.neighbors(string_to_kmer("AAAAA"), include_self=False)
+    assert string_to_kmer("AAAAA") not in out.tolist()
+
+
+def test_precomputed_absent_code_falls_back():
+    spec = _spectrum(["AAAAA"], 5)
+    pre = PrecomputedNeighborIndex(spec, 1)
+    nb = pre.neighbors(string_to_kmer("AAAAT"))
+    assert nb.tolist() == [string_to_kmer("AAAAA")]
+
+
+def test_masked_index_requires_sorted():
+    with pytest.raises(ValueError):
+        MaskedKmerIndex(np.array([3, 1], dtype=np.uint64), k=5, d=1)
+
+
+def test_masked_index_parameter_validation():
+    kmers = np.array([0], dtype=np.uint64)
+    with pytest.raises(ValueError):
+        MaskedKmerIndex(kmers, k=5, d=2, c=2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.text(alphabet="ACGT", min_size=12, max_size=12), min_size=3, max_size=30),
+    st.integers(1, 2),
+)
+def test_masked_index_matches_probing(seqs, d):
+    """The masked-replica index is exact: it agrees with brute probing."""
+    k = 12
+    spec = _spectrum(seqs, k)
+    masked = MaskedKmerIndex(spec.kmers, k=k, d=d, c=max(d + 1, 4))
+    probe = ProbingNeighborIndex(spec, d)
+    for code in spec.kmers[:: max(1, spec.n_kmers // 5)].tolist():
+        a = masked.neighbors(code).tolist()
+        b = probe.neighbors(code).tolist()
+        assert a == b
+
+
+def test_masked_index_memory_reporting():
+    spec = _spectrum(["ACGTACGTACGT"], 12)
+    idx = MaskedKmerIndex(spec.kmers, k=12, d=1, c=4)
+    assert idx.n_replicas == 4
+    assert idx.memory_bytes() > 0
+
+
+def test_neighborhood_size_formula():
+    assert neighborhood_size(5, 0) == 1
+    assert neighborhood_size(5, 1) == 16
+    assert neighborhood_size(5, 2) == 1 + 15 + 10 * 9

@@ -1,0 +1,114 @@
+"""Tests for the k-spectrum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import ReadSet
+from repro.kmer import spectrum_from_reads, spectrum_from_sequence
+from repro.seq import encode, reverse_complement, string_to_kmer
+
+
+def test_spectrum_counts_simple():
+    rs = ReadSet.from_strings(["ACGTA"])
+    spec = spectrum_from_reads(rs, 3, both_strands=False)
+    # ACG, CGT, GTA each once.
+    assert spec.n_kmers == 3
+    assert spec.count_scalar(string_to_kmer("ACG")) == 1
+    assert spec.count_scalar(string_to_kmer("AAA")) == 0
+
+
+def test_spectrum_both_strands():
+    rs = ReadSet.from_strings(["ACG"])
+    spec = spectrum_from_reads(rs, 3, both_strands=True)
+    assert string_to_kmer("ACG") in spec
+    assert string_to_kmer("CGT") in spec  # revcomp
+    assert spec.n_kmers == 2
+
+
+def test_spectrum_skips_n_windows():
+    rs = ReadSet.from_strings(["ACNTA"])
+    spec = spectrum_from_reads(rs, 3, both_strands=False)
+    assert spec.n_kmers == 0
+
+
+def test_spectrum_counts_multiplicity():
+    rs = ReadSet.from_strings(["AAAA", "AAA"])
+    spec = spectrum_from_reads(rs, 3, both_strands=False)
+    assert spec.count_scalar(string_to_kmer("AAA")) == 3
+
+
+def test_spectrum_variable_lengths():
+    rs = ReadSet.from_strings(["ACGT", "AC", "ACGTT"])
+    spec = spectrum_from_reads(rs, 4, both_strands=False)
+    assert spec.count_scalar(string_to_kmer("ACGT")) == 2
+    assert spec.count_scalar(string_to_kmer("CGTT")) == 1
+
+
+def test_contains_and_index_vectorized():
+    rs = ReadSet.from_strings(["ACGTACGT"])
+    spec = spectrum_from_reads(rs, 4, both_strands=False)
+    queries = np.array(
+        [string_to_kmer("ACGT"), string_to_kmer("TTTT")], dtype=np.uint64
+    )
+    assert spec.contains(queries).tolist() == [True, False]
+    idx = spec.index_of(queries)
+    assert idx[0] >= 0 and idx[1] == -1
+
+
+def test_empty_spectrum():
+    rs = ReadSet.from_strings(["AC"])
+    spec = spectrum_from_reads(rs, 5)
+    assert spec.n_kmers == 0
+    assert not spec.contains(np.array([0], dtype=np.uint64))[0]
+    assert spec.count(np.array([0], dtype=np.uint64))[0] == 0
+
+
+def test_spectrum_from_sequence_matches_reads():
+    s = "ACGTTGCAACGGT"
+    from_seq = spectrum_from_sequence(encode(s), 4)
+    from_reads = spectrum_from_reads(
+        ReadSet.from_strings([s]), 4, both_strands=False
+    )
+    assert (from_seq.kmers == from_reads.kmers).all()
+    assert (from_seq.counts == from_reads.counts).all()
+
+
+def test_spectrum_from_sequence_skips_ambiguous():
+    s = encode("ACGNACG")
+    spec = spectrum_from_sequence(s, 3)
+    assert spec.count_scalar(string_to_kmer("ACG")) == 2
+    assert spec.n_kmers == 1
+
+
+@settings(max_examples=30)
+@given(st.lists(st.text(alphabet="ACGT", min_size=6, max_size=20), min_size=1, max_size=8))
+def test_spectrum_total_count_invariant(seqs):
+    """Sum of counts equals total number of valid windows (x2 with RC)."""
+    k = 5
+    rs = ReadSet.from_strings(seqs)
+    spec = spectrum_from_reads(rs, k, both_strands=True)
+    expected = 2 * sum(max(0, len(s) - k + 1) for s in seqs)
+    assert spec.counts.sum() == expected
+
+
+@settings(max_examples=30)
+@given(st.text(alphabet="ACGT", min_size=8, max_size=40))
+def test_spectrum_revcomp_symmetric(s):
+    """Both-strands spectra are reverse-complement symmetric."""
+    k = 4
+    rs = ReadSet.from_strings([s])
+    spec = spectrum_from_reads(rs, k, both_strands=True)
+    from repro.seq import revcomp_kmer_codes
+
+    rc = revcomp_kmer_codes(spec.kmers, k)
+    assert (np.sort(rc) == spec.kmers).all()
+    order = np.argsort(rc)
+    assert (spec.counts[order] == spec.counts).all()
+
+
+def test_spectrum_kmers_sorted_unique():
+    rs = ReadSet.from_strings(["ACGTACGTAA", "TTGGCCAATT"])
+    spec = spectrum_from_reads(rs, 4)
+    assert (np.diff(spec.kmers.astype(np.int64)) > 0).all()

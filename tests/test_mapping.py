@@ -1,0 +1,167 @@
+"""Tests for the RMAP-like mapper."""
+
+import numpy as np
+import pytest
+
+from repro.io import ReadSet
+from repro.mapping import (
+    AMBIGUOUS,
+    UNIQUE,
+    UNMAPPED,
+    GenomeSeedIndex,
+    aligned_true_codes,
+    map_reads,
+)
+from repro.seq import decode, encode, reverse_complement
+from repro.simulate import UniformErrorModel, random_genome, simulate_reads
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_seed_index_lookup():
+    g = encode("ACGTACGTTT")
+    idx = GenomeSeedIndex(g, 4)
+    from repro.seq import string_to_kmer
+
+    starts, ends = idx.lookup_ranges(
+        np.array([string_to_kmer("ACGT"), string_to_kmer("AAAA")], dtype=np.uint64)
+    )
+    assert (ends[0] - starts[0]) == 2
+    assert idx.positions_for_range(starts[0], ends[0]).tolist() == [0, 4]
+    assert ends[1] - starts[1] == 0
+
+
+def test_seed_index_skips_n():
+    g = encode("ACGNACGT")
+    idx = GenomeSeedIndex(g, 4)
+    from repro.seq import string_to_kmer
+
+    starts, ends = idx.lookup_ranges(
+        np.array([string_to_kmer("ACGT")], dtype=np.uint64)
+    )
+    assert idx.positions_for_range(starts[0], ends[0]).tolist() == [4]
+
+
+def test_exact_read_maps_uniquely():
+    g = random_genome(2000, rng())
+    seq = decode(g.codes[100:136])
+    reads = ReadSet.from_strings([seq])
+    res = map_reads(reads, g.codes, max_mismatches=2)
+    assert res.status[0] == UNIQUE
+    assert res.position[0] == 100
+    assert res.strand[0] == 1
+    assert res.mismatches[0] == 0
+
+
+def test_reverse_strand_read_maps():
+    g = random_genome(2000, rng(1))
+    seq = reverse_complement(decode(g.codes[500:536]))
+    reads = ReadSet.from_strings([seq])
+    res = map_reads(reads, g.codes, max_mismatches=2)
+    assert res.status[0] == UNIQUE
+    assert res.position[0] == 500
+    assert res.strand[0] == -1
+
+
+def test_mismatched_read_maps_with_count():
+    g = random_genome(2000, rng(2))
+    codes = g.codes[300:336].copy()
+    codes[5] = (codes[5] + 1) % 4
+    codes[20] = (codes[20] + 2) % 4
+    reads = ReadSet.from_strings([decode(codes)])
+    res = map_reads(reads, g.codes, max_mismatches=2)
+    assert res.status[0] == UNIQUE
+    assert res.mismatches[0] == 2
+
+
+def test_too_many_mismatches_unmapped():
+    g = random_genome(2000, rng(3))
+    codes = g.codes[300:336].copy()
+    for p in (2, 9, 16, 23, 30):  # hit every pigeonhole seed
+        codes[p] = (codes[p] + 1) % 4
+    reads = ReadSet.from_strings([decode(codes)])
+    res = map_reads(reads, g.codes, max_mismatches=2)
+    assert res.status[0] == UNMAPPED
+    assert res.position[0] == -1
+
+
+def test_random_read_unmapped():
+    g = random_genome(2000, rng(4))
+    reads = ReadSet.from_strings(["ACGT" * 9])
+    res = map_reads(reads, g.codes, max_mismatches=1)
+    # Either unmapped or a chance hit; with 36bp on 2kb it must be unmapped.
+    assert res.status[0] == UNMAPPED
+
+
+def test_repeat_read_ambiguous():
+    unit = "ACGTTGCAGGTCAATCGGATCCATAGCAAGTTCAGA"  # 36bp
+    g_seq = unit + "TTTTGGGGCCCCAAAA" * 10 + unit + "GGTT" * 30
+    g = encode(g_seq)
+    reads = ReadSet.from_strings([unit])
+    res = map_reads(reads, g, max_mismatches=1)
+    assert res.status[0] == AMBIGUOUS
+
+
+def test_n_bases_count_as_mismatches():
+    g = random_genome(2000, rng(5))
+    codes = decode(g.codes[100:136])
+    read = codes[:10] + "N" + codes[11:]
+    res = map_reads(ReadSet.from_strings([read]), g.codes, max_mismatches=2)
+    assert res.status[0] == UNIQUE
+    assert res.mismatches[0] == 1
+
+
+def test_simulated_dataset_mapping_rates():
+    """Low error rate -> most reads uniquely mapped (Table 2.2 shape)."""
+    g = random_genome(30_000, rng(6))
+    sim = simulate_reads(g, 36, UniformErrorModel(36, 0.006), rng(7), coverage=5.0)
+    res = map_reads(sim.reads, g.codes, max_mismatches=5)
+    assert res.fraction_unique() > 0.9
+    assert res.fraction_unmapped() < 0.05
+    # Mapped positions agree with the simulator's ground truth.
+    unique = res.status == UNIQUE
+    agree = (res.position[unique] == sim.positions[unique]).mean()
+    assert agree > 0.95
+
+
+def test_summary_dict():
+    g = random_genome(2000, rng(8))
+    reads = ReadSet.from_strings([decode(g.codes[0:36])])
+    res = map_reads(reads, g.codes)
+    s = res.summary()
+    assert s["n_reads"] == 1 and s["unique"] == 1.0
+
+
+def test_aligned_true_codes_recovers_truth():
+    g = random_genome(20_000, rng(9))
+    sim = simulate_reads(
+        g, 36, UniformErrorModel(36, 0.01), rng(10), coverage=3.0
+    )
+    res = map_reads(sim.reads, g.codes, max_mismatches=3)
+    rows, true = aligned_true_codes(sim.reads, g.codes, res)
+    assert rows.size > 0
+    # The mapper's reconstruction equals the simulator's ground truth
+    # wherever mapping found the true origin.
+    correct_pos = res.position[rows] == sim.positions[rows]
+    frac = (true[correct_pos] == sim.true_codes[rows][correct_pos]).mean()
+    assert frac == pytest.approx(1.0)
+
+
+def test_empty_readset():
+    g = random_genome(1000, rng(11))
+    reads = ReadSet.from_strings([])
+    res = map_reads(reads, g.codes)
+    assert res.n_reads == 0
+    assert res.fraction_unique() == 0.0
+
+
+def test_index_reuse_and_mismatch():
+    g = random_genome(1000, rng(12))
+    idx = GenomeSeedIndex(g.codes, 8)
+    reads = ReadSet.from_strings([decode(g.codes[10:46])])
+    res = map_reads(reads, g.codes, max_mismatches=2, index=idx, seed_length=8)
+    assert res.status[0] == UNIQUE
+    with pytest.raises(ValueError):
+        map_reads(reads, g.codes, index=idx, seed_length=9)

@@ -1,0 +1,120 @@
+"""Remaining coverage: small APIs not exercised elsewhere."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.assembly import build_debruijn_graph
+from repro.core.closet import pairwise_similarity_matrix
+from repro.eval import format_table
+from repro.io import ReadSet, parse_fasta, write_fasta
+from repro.simulate import UniformErrorModel, apply_error_model
+
+
+def test_pairwise_similarity_matrix():
+    rs = ReadSet.from_strings(
+        ["ACGTACGTACGT", "ACGTACGTACGT", "TTGGCCAATTGG"]
+    )
+    pairs = np.array([[0, 1], [0, 2]])
+    sims = pairwise_similarity_matrix(rs, 6, pairs)
+    assert sims[0] == 1.0
+    assert sims[1] < 0.5
+
+
+def test_debruijn_in_edges():
+    rs = ReadSet.from_strings(["ACGTA"])
+    g = build_debruijn_graph(rs, 3)
+    from repro.seq import string_to_kmer
+
+    incoming = g.in_edges(string_to_kmer("GT"))
+    assert incoming.size == 1
+    assert g.kmers[incoming[0]] == string_to_kmer("CGT")
+    assert g.in_edges(string_to_kmer("AA")).size == 0
+
+
+def test_format_table_variants():
+    assert format_table([]) == "(empty)"
+    rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": ""}]
+    text = format_table(rows)
+    assert "a" in text and "xy" in text
+    custom = format_table(rows, headers=["b"])
+    assert "a " not in custom.splitlines()[0]
+
+
+def test_fasta_empty_header_name():
+    buf = io.StringIO(">\nACGT\n")
+    (name, seq), = parse_fasta(buf)
+    assert name == "" and seq == "ACGT"
+
+
+def test_write_fasta_wrapping():
+    buf = io.StringIO()
+    write_fasta([("x", "A" * 75)], buf, width=30)
+    lines = buf.getvalue().strip().splitlines()
+    assert lines[0] == ">x"
+    assert [len(l) for l in lines[1:]] == [30, 30, 15]
+
+
+def test_apply_error_model_too_long_read():
+    model = UniformErrorModel(10, 0.01)
+    with pytest.raises(ValueError):
+        apply_error_model(
+            np.zeros((2, 12), np.uint8), model, np.random.default_rng(0)
+        )
+
+
+def test_spectrum_contains_dunder():
+    from repro.kmer import spectrum_from_reads
+    from repro.seq import string_to_kmer
+
+    spec = spectrum_from_reads(ReadSet.from_strings(["ACGTA"]), 3, both_strands=False)
+    assert string_to_kmer("ACG") in spec
+    assert string_to_kmer("AAA") not in spec
+    assert len(spec) == 3
+
+
+def test_cluster_density_singleton():
+    from repro.core.closet import Cluster
+
+    c = Cluster(vertices={1}, edges=set())
+    assert c.density() == 1.0
+
+
+def test_mixture_fit_posteriors_sum_to_one():
+    from repro.core.redeem import fit_mixture
+
+    rng = np.random.default_rng(0)
+    t = np.concatenate([rng.gamma(1.0, 1.0, 500), rng.normal(40, 6, 1500)])
+    fit = fit_mixture(t, n_groups=1)
+    post = fit.posteriors(np.array([0.5, 10.0, 40.0]))
+    assert np.allclose(post.sum(axis=1), 1.0)
+    assert post.shape == (3, 3)
+
+
+def test_detection_curve_best_threshold_stable():
+    from repro.eval import detection_curve
+
+    scores = np.array([1.0, 1.0, 9.0, 9.0])
+    truth = np.array([False, False, True, True])
+    curve = detection_curve(scores, truth, thresholds=np.array([0.5, 2.0, 10.0]))
+    assert curve.best_threshold() == 2.0
+    assert curve.wrong_predictions.tolist() == [2, 0, 2]
+
+
+def test_genome_seed_index_empty_genome():
+    from repro.mapping import GenomeSeedIndex
+
+    idx = GenomeSeedIndex(np.zeros(0, dtype=np.uint8), 4)
+    starts, ends = idx.lookup_ranges(np.array([0], dtype=np.uint64))
+    assert starts[0] == ends[0] == 0
+
+
+def test_reptile_result_fields():
+    from repro.core.reptile import ReadCorrectionStats
+
+    a = ReadCorrectionStats(tiles_examined=1, tiles_valid=1)
+    b = ReadCorrectionStats(tiles_examined=2, tiles_corrected=1, bases_changed=3)
+    a.merge(b)
+    assert a.tiles_examined == 3
+    assert a.bases_changed == 3

@@ -1,0 +1,116 @@
+"""Tests for quality-weighted EM and genome-statistics estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.redeem import (
+    RedeemCorrector,
+    estimate_attempts,
+    estimate_genome_statistics,
+    kmer_error_model_from_read_model,
+    uniform_kmer_error_model,
+)
+from repro.kmer import spectrum_from_reads
+from repro.simulate import (
+    illumina_like_model,
+    random_genome,
+    repeat_spec,
+    simulate_genome,
+    simulate_reads,
+)
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def repeat40():
+    spec = repeat_spec(30_000, 0.4, unit_length=150)
+    g = simulate_genome(spec, np.random.default_rng(0))
+    model = illumina_like_model(36, base_rate=0.006)
+    sim = simulate_reads(g, 36, model, np.random.default_rng(1), coverage=60.0)
+    return g, model, sim
+
+
+def test_genome_length_estimate(repeat40):
+    g, model, sim = repeat40
+    corr = RedeemCorrector.fit(
+        sim.reads, k=K, error_model=kmer_error_model_from_read_model(model, K)
+    )
+    est = estimate_genome_statistics(corr.model)
+    assert est.genome_length == pytest.approx(g.length, rel=0.15)
+    assert est.repeat_fraction == pytest.approx(0.4, abs=0.12)
+    assert est.n_genomic_kmers > 0
+    assert est.as_dict()["coverage_constant"] > 1
+
+
+def test_genome_estimate_single_strand_flag(repeat40):
+    g, model, sim = repeat40
+    corr = RedeemCorrector.fit(
+        sim.reads, k=K, error_model=kmer_error_model_from_read_model(model, K)
+    )
+    d2 = estimate_genome_statistics(corr.model, double_stranded=True)
+    d1 = estimate_genome_statistics(corr.model, double_stranded=False)
+    assert d1.genome_length == pytest.approx(2 * d2.genome_length, rel=0.01)
+
+
+def test_genome_estimate_low_repeat():
+    g = random_genome(20_000, np.random.default_rng(3))
+    model = illumina_like_model(36, base_rate=0.006)
+    sim = simulate_reads(g, 36, model, np.random.default_rng(4), coverage=60.0)
+    corr = RedeemCorrector.fit(
+        sim.reads, k=K, error_model=kmer_error_model_from_read_model(model, K)
+    )
+    est = estimate_genome_statistics(corr.model)
+    assert est.genome_length == pytest.approx(20_000, rel=0.15)
+    assert est.repeat_fraction < 0.15
+
+
+# -- quality-weighted EM ------------------------------------------------------
+def test_quality_weighted_fit(repeat40):
+    _, model, sim = repeat40
+    km = kmer_error_model_from_read_model(model, K)
+    plain = RedeemCorrector.fit(sim.reads, k=K, error_model=km)
+    weighted = RedeemCorrector.fit(
+        sim.reads, k=K, error_model=km, use_quality_weights=True
+    )
+    # Same spectrum support, different (downweighted) mass.
+    assert weighted.spectrum.n_kmers == plain.spectrum.n_kmers
+    assert weighted.T.sum() < plain.T.sum()
+    # Detection at least comparable: erroneous (non-genomic) kmers get
+    # LOWER T under quality weighting, genomic kmers keep most mass.
+    from repro.eval import genomic_truth
+    from repro.kmer import spectrum_from_sequence
+
+    g = repeat40[0]
+    gspec = spectrum_from_sequence(g.codes, K, both_strands=True)
+    truth = genomic_truth(plain.spectrum.kmers, gspec)
+    ratio = weighted.T / np.maximum(plain.T, 1e-9)
+    assert ratio[~truth].mean() < ratio[truth].mean()
+
+
+def test_quality_weights_ignored_without_scores():
+    g = random_genome(4000, np.random.default_rng(5))
+    sim = simulate_reads(
+        g,
+        36,
+        illumina_like_model(36),
+        np.random.default_rng(6),
+        coverage=20.0,
+        with_quality=False,
+    )
+    corr = RedeemCorrector.fit(sim.reads, k=9, use_quality_weights=True)
+    assert corr.T.sum() == pytest.approx(float(corr.Y.sum()), rel=1e-9)
+
+
+def test_estimate_attempts_observed_counts_validation():
+    g = random_genome(2000, np.random.default_rng(7))
+    sim = simulate_reads(
+        g, 36, illumina_like_model(36), np.random.default_rng(8), coverage=10.0
+    )
+    spec = spectrum_from_reads(sim.reads, 9, both_strands=False)
+    with pytest.raises(ValueError):
+        estimate_attempts(
+            spec,
+            uniform_kmer_error_model(9, 0.01),
+            observed_counts=np.ones(3),
+        )

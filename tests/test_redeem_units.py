@@ -1,0 +1,213 @@
+"""Unit tests for REDEEM's pieces: error models, EM, mixture threshold."""
+
+import numpy as np
+import pytest
+
+from repro.core.redeem import (
+    KmerErrorModel,
+    build_misread_matrix,
+    estimate_attempts,
+    estimate_kmer_error_model,
+    fit_mixture,
+    kmer_bases,
+    kmer_error_model_from_read_model,
+    uniform_kmer_error_model,
+)
+from repro.io import ReadSet
+from repro.kmer import spectrum_from_reads
+from repro.seq import string_to_kmer
+from repro.simulate import UniformErrorModel, illumina_like_model
+
+
+# -- error model --------------------------------------------------------------
+def test_uniform_kmer_model_pe():
+    m = uniform_kmer_error_model(5, 0.01)
+    assert m.k == 5
+    assert np.allclose(m.q.sum(axis=2), 1.0)
+    with pytest.raises(ValueError):
+        uniform_kmer_error_model(5, 1.2)
+
+
+def test_kmer_model_validation():
+    with pytest.raises(ValueError):
+        KmerErrorModel(np.ones((3, 4, 4)))
+    with pytest.raises(ValueError):
+        KmerErrorModel(np.ones((3, 3, 3)))
+
+
+def test_kmer_bases():
+    codes = np.array([string_to_kmer("ACGT")], dtype=np.uint64)
+    assert kmer_bases(codes, 4).tolist() == [[0, 1, 2, 3]]
+
+
+def test_edge_log_probs_match_direct_product():
+    """Edge probabilities equal the brute-force product over positions."""
+    k = 4
+    model = kmer_error_model_from_read_model(
+        illumina_like_model(10, base_rate=0.02), k
+    )
+    kmers = np.array(
+        [string_to_kmer("ACGT"), string_to_kmer("ACGA"), string_to_kmer("TCGT")],
+        dtype=np.uint64,
+    )
+    bases = kmer_bases(kmers, k)
+    src = np.array([0, 0, 1])
+    dst = np.array([1, 2, 0])
+    logp = model.edge_log_probs(kmers, src, dst)
+    for e in range(3):
+        expected = sum(
+            np.log(model.q[i, bases[src[e], i], bases[dst[e], i]])
+            for i in range(k)
+        )
+        assert logp[e] == pytest.approx(expected, rel=1e-9)
+
+
+def test_edge_log_probs_self_edge_is_faithful():
+    k = 4
+    model = uniform_kmer_error_model(k, 0.01)
+    kmers = np.array([string_to_kmer("ACGT")], dtype=np.uint64)
+    logp = model.edge_log_probs(kmers, np.array([0]), np.array([0]))
+    assert logp[0] == pytest.approx(4 * np.log(0.99))
+
+
+def test_uniform_model_symmetric_pe():
+    """Eq. 3.1: uniform errors give symmetric misread probabilities."""
+    k = 5
+    model = uniform_kmer_error_model(k, 0.02)
+    kmers = np.array(
+        [string_to_kmer("AAAAA"), string_to_kmer("AATAA")], dtype=np.uint64
+    )
+    ab = model.edge_log_probs(kmers, np.array([0]), np.array([1]))
+    ba = model.edge_log_probs(kmers, np.array([1]), np.array([0]))
+    assert ab[0] == pytest.approx(ba[0])
+
+
+def test_estimate_kmer_error_model_recovers_bias():
+    rng = np.random.default_rng(0)
+    L, k, n = 30, 6, 20_000
+    true = rng.integers(0, 4, size=(n, L)).astype(np.uint8)
+    read_model = illumina_like_model(L, base_rate=0.02, end_multiplier=3.0)
+    from repro.simulate import apply_error_model
+
+    obs = apply_error_model(true, read_model, rng)
+    est = estimate_kmer_error_model(obs, true, k)
+    ref = kmer_error_model_from_read_model(read_model, k)
+    # Diagonals agree closely.
+    assert np.allclose(
+        np.einsum("iaa->ia", est.q), np.einsum("iaa->ia", ref.q), atol=0.01
+    )
+
+
+def test_estimate_kmer_error_model_validation():
+    with pytest.raises(ValueError):
+        estimate_kmer_error_model(np.zeros((2, 5)), np.zeros((2, 6)), 3)
+    with pytest.raises(ValueError):
+        estimate_kmer_error_model(np.zeros((2, 5)), np.zeros((2, 5)), 6)
+
+
+# -- misread matrix / EM ----------------------------------------------------
+def _toy_spectrum():
+    reads = ReadSet.from_strings(
+        ["AAAAA"] * 30 + ["AATAA"] * 2 + ["CCCCC"] * 25
+    )
+    return spectrum_from_reads(reads, 5, both_strands=False)
+
+
+def test_misread_matrix_rows_stochastic():
+    spec = _toy_spectrum()
+    P = build_misread_matrix(spec, uniform_kmer_error_model(5, 0.02))
+    rows = np.asarray(P.sum(axis=1)).ravel()
+    assert np.allclose(rows, 1.0)
+    # Self-loop dominates each row.
+    assert (P.diagonal() > 0.9).all()
+
+
+def test_misread_matrix_k_mismatch():
+    spec = _toy_spectrum()
+    with pytest.raises(ValueError):
+        build_misread_matrix(spec, uniform_kmer_error_model(4, 0.01))
+
+
+def test_em_mass_conservation():
+    spec = _toy_spectrum()
+    model = estimate_attempts(spec, uniform_kmer_error_model(5, 0.02))
+    assert model.T.sum() == pytest.approx(float(spec.counts.sum()), rel=1e-9)
+
+
+def test_em_loglik_nondecreasing():
+    spec = _toy_spectrum()
+    model = estimate_attempts(
+        spec, uniform_kmer_error_model(5, 0.02), max_iter=20, tol=0.0
+    )
+    ll = np.array(model.log_likelihood)
+    assert (np.diff(ll) >= -1e-6).all()
+
+
+def test_em_moves_mass_from_error_to_source():
+    """The rare neighbor AATAA of abundant AAAAA should lose mass."""
+    spec = _toy_spectrum()
+    model = estimate_attempts(spec, uniform_kmer_error_model(5, 0.02))
+    i_err = int(spec.index_of(np.array([string_to_kmer("AATAA")], dtype=np.uint64))[0])
+    i_src = int(spec.index_of(np.array([string_to_kmer("AAAAA")], dtype=np.uint64))[0])
+    assert model.T[i_err] < spec.counts[i_err]
+    assert model.T[i_src] > spec.counts[i_src]
+
+
+def test_em_isolated_kmer_unchanged():
+    spec = _toy_spectrum()
+    model = estimate_attempts(spec, uniform_kmer_error_model(5, 0.02))
+    i = int(spec.index_of(np.array([string_to_kmer("CCCCC")], dtype=np.uint64))[0])
+    assert model.T[i] == pytest.approx(float(spec.counts[i]), rel=1e-6)
+
+
+def test_expected_misread_counts_shape():
+    spec = _toy_spectrum()
+    model = estimate_attempts(spec, uniform_kmer_error_model(5, 0.02))
+    E = model.expected_misread_counts()
+    assert E.shape == (spec.n_kmers, spec.n_kmers)
+    # Column sums approximate Y (each observation attributed to sources).
+    col = np.asarray(E.sum(axis=0)).ravel()
+    assert np.allclose(col, spec.counts, rtol=1e-6)
+
+
+# -- mixture threshold ----------------------------------------------------
+def test_fit_mixture_separates_bimodal():
+    rng = np.random.default_rng(1)
+    errors = rng.gamma(1.0, 0.8, size=2000)
+    genuine = rng.normal(60.0, 8.0, size=4000)
+    t = np.concatenate([errors, genuine])
+    fit = fit_mixture(t, n_groups=1)
+    thr = fit.threshold()
+    assert 3 < thr < 40
+    assert fit.coverage_peak == pytest.approx(60.0, rel=0.15)
+    # Posterior classifies the extremes correctly.
+    post = fit.error_posterior(np.array([0.5, 60.0]))
+    assert post[0] > 0.9 and post[1] < 0.1
+
+
+def test_fit_mixture_two_copy_peak():
+    rng = np.random.default_rng(2)
+    t = np.concatenate(
+        [
+            rng.gamma(1.0, 1.0, 1500),
+            rng.normal(50, 7, 4000),
+            rng.normal(100, 10, 1000),
+        ]
+    )
+    fit = fit_mixture(t, n_groups=2)
+    assert fit.coverage_peak == pytest.approx(50.0, rel=0.2)
+
+
+def test_infer_threshold_bic_selection():
+    from repro.core.redeem import infer_threshold
+
+    rng = np.random.default_rng(3)
+    t = np.concatenate([rng.gamma(1.0, 1.0, 1000), rng.normal(40, 6, 3000)])
+    thr, fit = infer_threshold(t, group_range=range(1, 3))
+    assert 2 < thr < 30
+    assert fit.bic < np.inf
+
+
+def test_fit_mixture_too_few_values():
+    with pytest.raises(ValueError):
+        fit_mixture(np.ones(5))

@@ -1,0 +1,268 @@
+"""Unit tests for Reptile's pieces: params, tile correction, N handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.reptile import (
+    Decision,
+    ReptileParams,
+    convert_ambiguous,
+    convertible_n_mask,
+    correct_tile,
+    default_k_for_genome,
+    enumerate_mutant_tiles,
+    select_parameters,
+    tile_diff_positions,
+)
+from repro.io import ReadSet
+from repro.seq import string_to_kmer
+from repro.simulate import UniformErrorModel, random_genome, simulate_reads
+
+
+# -- params ----------------------------------------------------------------
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ReptileParams(k=10, overlap=10)
+    with pytest.raises(ValueError):
+        ReptileParams(k=16, overlap=0)  # tile length 32 > 31
+    with pytest.raises(ValueError):
+        ReptileParams(cr=1.0)
+    with pytest.raises(ValueError):
+        ReptileParams(d=-1)
+
+
+def test_params_defaults():
+    p = ReptileParams(k=12)
+    assert p.tile_length == 24
+    assert p.effective_n_window == 12
+    assert p.effective_max_n == p.d
+
+
+def test_default_k_for_genome():
+    assert default_k_for_genome(4**12) == 12
+    assert default_k_for_genome(4_600_000) == 12  # E. coli scale
+    assert default_k_for_genome(100) == 8  # floor
+
+
+def test_select_parameters_from_data():
+    g = random_genome(20_000, np.random.default_rng(0))
+    sim = simulate_reads(
+        g, 36, UniformErrorModel(36, 0.01), np.random.default_rng(1), coverage=40.0
+    )
+    p = select_parameters(sim.reads, k=11)
+    assert p.k == 11
+    assert p.cg > p.cm >= 2
+    assert 2 <= p.qc <= 60
+    assert p.qm > p.qc
+
+
+def test_select_parameters_no_quality():
+    rs = ReadSet.from_strings(["ACGTACGTACGTACGTACGTACGT"] * 5)
+    p = select_parameters(rs, k=6)
+    assert p.qc == 0  # score-less fallback: everything counts
+
+
+# -- tile_diff_positions -----------------------------------------------------
+def test_tile_diff_positions():
+    a = string_to_kmer("ACGTACGT")
+    b = string_to_kmer("ACGAACGA")
+    assert tile_diff_positions(a, b, 8) == (3, 7)
+    assert tile_diff_positions(a, a, 8) == ()
+
+
+# -- enumerate_mutant_tiles --------------------------------------------------
+def test_enumerate_mutants_zero_overlap():
+    a1, a2 = string_to_kmer("AAAA"), string_to_kmer("CCCC")
+    c1 = np.array([a1, string_to_kmer("AAAT")], dtype=np.uint64)
+    c2 = np.array([a2], dtype=np.uint64)
+    out = enumerate_mutant_tiles(a1, a2, c1, c2, 4, 0)
+    assert out.tolist() == [string_to_kmer("AAATCCCC")]
+
+
+def test_enumerate_mutants_overlap_consistency():
+    # k=4, overlap=2: candidates disagreeing on the shared 2 bases drop.
+    a1 = string_to_kmer("AACC")
+    a2 = string_to_kmer("CCGG")
+    alt2 = string_to_kmer("TTGG")  # prefix TT != suffix CC of a1
+    c1 = np.array([a1], dtype=np.uint64)
+    c2 = np.array([a2, alt2], dtype=np.uint64)
+    out = enumerate_mutant_tiles(a1, a2, c1, c2, 4, 2)
+    assert out.size == 0  # alt2 inconsistent; (a1,a2) is the original
+
+
+def test_enumerate_mutants_excludes_original():
+    a1, a2 = string_to_kmer("AAAA"), string_to_kmer("CCCC")
+    out = enumerate_mutant_tiles(
+        a1, a2,
+        np.array([a1], dtype=np.uint64),
+        np.array([a2], dtype=np.uint64),
+        4, 0,
+    )
+    assert out.size == 0
+
+
+# -- correct_tile (Algorithm 1) ----------------------------------------------
+def _tile(s):
+    return string_to_kmer(s)
+
+
+def test_tile_high_count_valid():
+    out = correct_tile(
+        tile_code=_tile("AAAACCCC"),
+        mutant_tiles=np.array([_tile("AAATCCCC")], dtype=np.uint64),
+        og_tile=50,
+        og_mutants=np.array([500]),
+        tile_quals=None,
+        tile_length=8,
+        cg=20, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.VALID
+
+
+def test_tile_no_mutants_low_count_insufficient():
+    out = correct_tile(
+        tile_code=_tile("AAAACCCC"),
+        mutant_tiles=np.empty(0, dtype=np.uint64),
+        og_tile=2,
+        og_mutants=np.empty(0, dtype=np.int64),
+        tile_quals=None,
+        tile_length=8,
+        cg=20, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.INSUFFICIENT
+
+
+def test_tile_no_mutants_mid_count_valid():
+    out = correct_tile(
+        tile_code=_tile("AAAACCCC"),
+        mutant_tiles=np.empty(0, dtype=np.uint64),
+        og_tile=6,
+        og_mutants=np.empty(0, dtype=np.int64),
+        tile_quals=None,
+        tile_length=8,
+        cg=20, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.VALID
+
+
+def test_tile_supported_corrected_to_dominant_mutant():
+    t = _tile("AAAACCCC")
+    target = _tile("AAATCCCC")
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=np.array([target], dtype=np.uint64),
+        og_tile=5,
+        og_mutants=np.array([40]),
+        tile_quals=np.array([40, 40, 40, 5, 40, 40, 40, 40]),
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.CORRECTED
+    assert out.new_tile == target
+    assert out.changed_positions == (3,)
+
+
+def test_tile_quality_veto():
+    """A correction touching only confident bases is refused."""
+    t = _tile("AAAACCCC")
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=np.array([_tile("AAATCCCC")], dtype=np.uint64),
+        og_tile=5,
+        og_mutants=np.array([40]),
+        tile_quals=np.full(8, 40),
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.INSUFFICIENT
+
+
+def test_tile_ambiguous_equidistant_mutants():
+    t = _tile("AAAACCCC")
+    muts = np.array([_tile("AAATCCCC"), _tile("AAAGCCCC")], dtype=np.uint64)
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=muts,
+        og_tile=5,
+        og_mutants=np.array([40, 40]),
+        tile_quals=np.full(8, 5),
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.INSUFFICIENT
+
+
+def test_tile_rare_unique_strong_mutant():
+    t = _tile("AAAACCCC")
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=np.array([_tile("AAATCCCC")], dtype=np.uint64),
+        og_tile=1,
+        og_mutants=np.array([30]),
+        tile_quals=None,
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.CORRECTED
+
+
+def test_tile_rare_multiple_strong_mutants_insufficient():
+    t = _tile("AAAACCCC")
+    muts = np.array([_tile("AAATCCCC"), _tile("TAAACCCC")], dtype=np.uint64)
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=muts,
+        og_tile=1,
+        og_mutants=np.array([30, 25]),
+        tile_quals=None,
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.INSUFFICIENT
+
+
+def test_tile_ratio_not_met_valid():
+    t = _tile("AAAACCCC")
+    out = correct_tile(
+        tile_code=t,
+        mutant_tiles=np.array([_tile("AAATCCCC")], dtype=np.uint64),
+        og_tile=10,
+        og_mutants=np.array([15]),  # ratio 1.5 < cr=2
+        tile_quals=None,
+        tile_length=8,
+        cg=100, cm=4, cr=2.0, qm=30,
+    )
+    assert out.decision is Decision.VALID
+
+
+# -- ambiguous handling --------------------------------------------------------
+def test_convertible_n_mask_sparse():
+    rs = ReadSet.from_strings(["ACGTNACGTACG"])
+    mask = convertible_n_mask(rs, window=4, max_n=1)
+    assert mask[0, 4] and mask.sum() == 1
+
+
+def test_convertible_n_mask_dense_cluster_blocked():
+    rs = ReadSet.from_strings(["ACNNNACGTACG"])
+    mask = convertible_n_mask(rs, window=4, max_n=1)
+    assert mask.sum() == 0
+
+
+def test_convertible_short_read():
+    rs = ReadSet.from_strings(["AN"])
+    mask = convertible_n_mask(rs, window=4, max_n=1)
+    assert mask[0, 1]
+    rs2 = ReadSet.from_strings(["NN"])
+    assert convertible_n_mask(rs2, window=4, max_n=1).sum() == 0
+
+
+def test_convert_ambiguous_replaces_and_floors_quality():
+    rs = ReadSet.from_strings(
+        ["ACGTNACGT"], quals=[np.full(9, 40)]
+    )
+    out, mask = convert_ambiguous(rs, window=4, max_n=1, default_code=2)
+    assert mask.sum() == 1
+    assert out.codes[0, 4] == 2
+    assert out.quals[0, 4] == 2
+    # Original untouched.
+    assert rs.codes[0, 4] == 4

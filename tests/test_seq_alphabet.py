@@ -1,0 +1,83 @@
+"""Tests for repro.seq.alphabet."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq import (
+    N_CODE,
+    complement_codes,
+    decode,
+    encode,
+    reverse_complement,
+    reverse_complement_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=200)
+dna_n = st.text(alphabet="ACGTN", min_size=0, max_size=200)
+
+
+def test_encode_basic():
+    assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_lowercase():
+    assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+
+def test_encode_n():
+    assert encode("ANA").tolist() == [0, N_CODE, 0]
+
+
+def test_encode_invalid_raises():
+    with pytest.raises(ValueError, match="invalid DNA"):
+        encode("ACGX")
+
+
+def test_decode_roundtrip_simple():
+    assert decode(encode("GATTACA")) == "GATTACA"
+
+
+def test_decode_invalid_code():
+    with pytest.raises(ValueError):
+        decode(np.array([0, 9], dtype=np.uint8))
+
+
+def test_empty_string():
+    assert decode(encode("")) == ""
+
+
+@given(dna_n)
+def test_encode_decode_roundtrip(s):
+    assert decode(encode(s)) == s
+
+
+def test_complement():
+    assert decode(complement_codes(encode("ACGTN"))) == "TGCAN"
+
+
+def test_reverse_complement_string():
+    assert reverse_complement("AACGT") == "ACGTT"
+
+
+def test_reverse_complement_known():
+    assert reverse_complement("GATTACA") == "TGTAATC"
+
+
+@given(dna)
+def test_revcomp_involution(s):
+    assert reverse_complement(reverse_complement(s)) == s
+
+
+@given(dna_n)
+def test_revcomp_codes_preserves_n(s):
+    rc = reverse_complement_codes(encode(s))
+    assert (rc == N_CODE).sum() == s.count("N")
+
+
+def test_revcomp_codes_2d():
+    codes = np.stack([encode("AAAA"), encode("ACGT")])
+    rc = reverse_complement_codes(codes)
+    assert decode(rc[0]) == "TTTT"
+    assert decode(rc[1]) == "ACGT"

@@ -1,0 +1,69 @@
+"""Tests for repro.seq.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq import (
+    encode,
+    hamming,
+    hamming_matrix,
+    kmer_hamming,
+    kmer_hamming_scalar,
+    string_to_kmer,
+)
+
+
+def test_hamming_strings():
+    assert hamming("ACGT", "ACGT") == 0
+    assert hamming("ACGT", "ACGA") == 1
+    assert hamming("AAAA", "TTTT") == 4
+
+
+def test_hamming_length_mismatch():
+    with pytest.raises(ValueError):
+        hamming("AC", "ACG")
+
+
+def test_hamming_matrix():
+    a = np.stack([encode("AAAA"), encode("ACGT")])
+    b = np.stack([encode("AAAA")])
+    m = hamming_matrix(a, b)
+    assert m.shape == (2, 1)
+    assert m[0, 0] == 0 and m[1, 0] == 3
+
+
+@given(
+    st.text(alphabet="ACGT", min_size=1, max_size=31),
+    st.text(alphabet="ACGT", min_size=1, max_size=31),
+)
+def test_kmer_hamming_matches_string_hamming(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    ca = np.array([string_to_kmer(a)], dtype=np.uint64)
+    cb = np.array([string_to_kmer(b)], dtype=np.uint64)
+    assert kmer_hamming(ca, cb)[0] == hamming(a, b)
+    assert kmer_hamming_scalar(string_to_kmer(a), string_to_kmer(b)) == hamming(a, b)
+
+
+def test_kmer_hamming_vectorized_shape():
+    a = np.arange(10, dtype=np.uint64)
+    b = np.zeros(10, dtype=np.uint64)
+    d = kmer_hamming(a, b)
+    assert d.shape == (10,)
+    assert d[0] == 0
+
+
+@given(st.integers(0, 2**62), st.integers(0, 2**62), st.integers(0, 2**62))
+def test_kmer_hamming_triangle_inequality(a, b, c):
+    ab = kmer_hamming_scalar(a, b)
+    bc = kmer_hamming_scalar(b, c)
+    ac = kmer_hamming_scalar(a, c)
+    assert ac <= ab + bc
+
+
+@given(st.integers(0, 2**62), st.integers(0, 2**62))
+def test_kmer_hamming_symmetry(a, b):
+    assert kmer_hamming_scalar(a, b) == kmer_hamming_scalar(b, a)
+    assert (kmer_hamming_scalar(a, b) == 0) == (a == b)

@@ -1,0 +1,108 @@
+"""Tests for repro.seq.encoding (2-bit k-mer packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seq import (
+    MAX_K,
+    canonical_kmer_codes,
+    encode,
+    kmer_codes_from_reads,
+    kmer_codes_from_sequence,
+    kmer_mask,
+    kmer_to_string,
+    pack_kmer,
+    revcomp_kmer_codes,
+    reverse_complement,
+    string_to_kmer,
+    unpack_kmer,
+    valid_kmer_mask,
+)
+
+kmers = st.text(alphabet="ACGT", min_size=1, max_size=MAX_K)
+
+
+def test_pack_known_values():
+    assert string_to_kmer("A") == 0
+    assert string_to_kmer("C") == 1
+    assert string_to_kmer("G") == 2
+    assert string_to_kmer("T") == 3
+    assert string_to_kmer("AC") == 1
+    assert string_to_kmer("CA") == 4
+    assert string_to_kmer("TT") == 15
+
+
+def test_pack_rejects_n():
+    with pytest.raises(ValueError):
+        pack_kmer(encode("AN"))
+
+
+def test_pack_rejects_long():
+    with pytest.raises(ValueError):
+        pack_kmer(np.zeros(MAX_K + 1, dtype=np.uint8))
+
+
+@given(kmers)
+def test_pack_unpack_roundtrip(s):
+    code = string_to_kmer(s)
+    assert kmer_to_string(code, len(s)) == s
+
+
+def test_kmer_mask():
+    assert kmer_mask(1) == 0b11
+    assert kmer_mask(3) == 0b111111
+
+
+def test_kmer_codes_from_reads_window_values():
+    reads = np.stack([encode("ACGTA"), encode("TTTTT")])
+    out = kmer_codes_from_reads(reads, 3)
+    assert out.shape == (2, 3)
+    assert out[0].tolist() == [
+        string_to_kmer("ACG"),
+        string_to_kmer("CGT"),
+        string_to_kmer("GTA"),
+    ]
+    assert (out[1] == string_to_kmer("TTT")).all()
+
+
+def test_kmer_codes_reads_too_short():
+    reads = encode("ACG")[None, :]
+    assert kmer_codes_from_reads(reads, 5).shape == (1, 0)
+
+
+@given(st.text(alphabet="ACGT", min_size=8, max_size=40), st.integers(2, 8))
+def test_reads_vs_sequence_extraction_agree(s, k):
+    """The per-column (reads) and per-offset (sequence) extraction
+    loops must produce identical codes."""
+    a = kmer_codes_from_reads(encode(s)[None, :], k)[0]
+    b = kmer_codes_from_sequence(encode(s), k)
+    assert a.tolist() == b.tolist()
+
+
+def test_valid_kmer_mask_excludes_n():
+    reads = np.stack([encode("ACNTA")])
+    mask = valid_kmer_mask(reads, 3)
+    assert mask.tolist() == [[False, False, False]]
+    mask2 = valid_kmer_mask(np.stack([encode("ACGNA")]), 2)
+    assert mask2.tolist() == [[True, True, False, False]]
+
+
+@given(kmers)
+def test_revcomp_kmer_codes_matches_string(s):
+    code = np.array([string_to_kmer(s)], dtype=np.uint64)
+    rc = revcomp_kmer_codes(code, len(s))[0]
+    assert kmer_to_string(int(rc), len(s)) == reverse_complement(s)
+
+
+@given(kmers)
+def test_canonical_invariant_under_revcomp(s):
+    k = len(s)
+    code = np.array([string_to_kmer(s)], dtype=np.uint64)
+    rc = revcomp_kmer_codes(code, k)
+    assert canonical_kmer_codes(code, k)[0] == canonical_kmer_codes(rc, k)[0]
+
+
+def test_kmer_codes_sequence_short():
+    assert kmer_codes_from_sequence(encode("AC"), 5).size == 0

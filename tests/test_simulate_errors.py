@@ -1,0 +1,110 @@
+"""Tests for repro.simulate.errors."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import (
+    ErrorModel,
+    UniformErrorModel,
+    apply_error_model,
+    estimate_positional_model,
+    illumina_like_model,
+    kmer_position_probs,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_uniform_model_rows_stochastic():
+    m = UniformErrorModel(36, 0.01)
+    assert m.read_length == 36
+    assert np.allclose(m.matrices.sum(axis=2), 1.0)
+    assert m.error_rate() == pytest.approx(0.01)
+
+
+def test_uniform_model_invalid_pe():
+    with pytest.raises(ValueError):
+        UniformErrorModel(10, 1.5)
+
+
+def test_error_model_validates_shape():
+    with pytest.raises(ValueError):
+        ErrorModel(np.ones((3, 3)))
+    bad = np.zeros((2, 4, 4))
+    with pytest.raises(ValueError):
+        ErrorModel(bad)
+
+
+def test_illumina_like_3prime_enrichment():
+    m = illumina_like_model(100, base_rate=0.005, end_multiplier=5.0)
+    per_pos = m.per_position_error()
+    assert per_pos[-1] > 3 * per_pos[0]
+    assert per_pos[0] == pytest.approx(0.005, rel=0.05)
+
+
+def test_illumina_like_jitter_needs_rng():
+    with pytest.raises(ValueError):
+        illumina_like_model(36, bias_jitter=0.5)
+
+
+def test_truncated():
+    m = illumina_like_model(100)
+    t = m.truncated(36)
+    assert t.read_length == 36
+    with pytest.raises(ValueError):
+        t.truncated(100)
+
+
+def test_apply_error_model_rate():
+    n, L = 4000, 36
+    true = rng().integers(0, 4, size=(n, L)).astype(np.uint8)
+    model = UniformErrorModel(L, 0.02)
+    obs = apply_error_model(true, model, rng())
+    rate = (obs != true).mean()
+    assert 0.015 < rate < 0.025
+    assert obs.max() < 4
+
+
+def test_apply_error_model_zero_rate():
+    true = rng().integers(0, 4, size=(50, 20)).astype(np.uint8)
+    obs = apply_error_model(true, UniformErrorModel(20, 0.0), rng())
+    assert (obs == true).all()
+
+
+def test_estimate_positional_model_recovers_rates():
+    n, L = 30_000, 30
+    true = rng().integers(0, 4, size=(n, L)).astype(np.uint8)
+    model = illumina_like_model(L, base_rate=0.01, end_multiplier=4.0)
+    obs = apply_error_model(true, model, rng())
+    est = estimate_positional_model(obs, true)
+    # Per-position error curves should correlate strongly.
+    a = model.per_position_error()
+    b = est.per_position_error()
+    corr = np.corrcoef(a, b)[0, 1]
+    assert corr > 0.8
+    assert abs(a.mean() - b.mean()) < 0.005
+
+
+def test_estimate_shape_mismatch():
+    with pytest.raises(ValueError):
+        estimate_positional_model(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+def test_kmer_position_probs_shape_and_stochastic():
+    m = illumina_like_model(36)
+    q = kmer_position_probs(m, 13)
+    assert q.shape == (13, 4, 4)
+    assert np.allclose(q.sum(axis=2), 1.0)
+
+
+def test_kmer_position_probs_k_too_large():
+    with pytest.raises(ValueError):
+        kmer_position_probs(UniformErrorModel(10, 0.01), 11)
+
+
+def test_kmer_position_probs_uniform_model_constant():
+    m = UniformErrorModel(36, 0.01)
+    q = kmer_position_probs(m, 5)
+    assert np.allclose(q, q[0])

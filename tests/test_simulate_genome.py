@@ -1,0 +1,99 @@
+"""Tests for repro.simulate.genome."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import (
+    Genome,
+    GenomeSpec,
+    RepeatFamily,
+    random_codes,
+    random_genome,
+    repeat_spec,
+    simulate_genome,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_random_codes_composition():
+    codes = random_codes(200_000, rng(), composition=(0.7, 0.1, 0.1, 0.1))
+    frac_a = (codes == 0).mean()
+    assert 0.68 < frac_a < 0.72
+
+
+def test_random_genome_length_and_range():
+    g = random_genome(5000, rng())
+    assert len(g) == 5000
+    assert g.codes.max() < 4
+    assert g.spec.repeat_fraction == 0.0
+
+
+def test_simulate_genome_exact_length_and_fraction():
+    spec = GenomeSpec(
+        length=10_000,
+        repeat_families=(RepeatFamily(100, 20), RepeatFamily(50, 40)),
+    )
+    g = simulate_genome(spec, rng())
+    assert len(g) == 10_000
+    assert spec.repeat_fraction == pytest.approx(0.4)
+    assert len(g.repeat_intervals) == 60
+
+
+def test_simulate_genome_repeat_copies_identical():
+    spec = GenomeSpec(length=5_000, repeat_families=(RepeatFamily(80, 10),))
+    g = simulate_genome(spec, rng())
+    copies = [g.codes[s:e] for s, e, fi in g.repeat_intervals if fi == 0]
+    assert len(copies) == 10
+    for c in copies[1:]:
+        assert (c == copies[0]).all()
+
+
+def test_simulate_genome_repeat_divergence():
+    spec = GenomeSpec(
+        length=20_000,
+        repeat_families=(RepeatFamily(500, 10),),
+        repeat_divergence=0.05,
+    )
+    g = simulate_genome(spec, rng())
+    copies = [g.codes[s:e] for s, e, _ in g.repeat_intervals]
+    diffs = [(copies[0] != c).mean() for c in copies[1:]]
+    assert any(d > 0 for d in diffs)
+    assert max(diffs) < 0.2
+
+
+def test_simulate_genome_overfull_raises():
+    spec = GenomeSpec(length=100, repeat_families=(RepeatFamily(60, 2),))
+    with pytest.raises(ValueError):
+        simulate_genome(spec, rng())
+
+
+def test_repeat_spec_fraction():
+    spec = repeat_spec(length=100_000, repeat_fraction=0.5, unit_length=500)
+    assert 0.4 <= spec.repeat_fraction <= 0.55
+    g = simulate_genome(spec, rng())
+    assert len(g) == 100_000
+
+
+def test_repeat_spec_zero_fraction():
+    spec = repeat_spec(length=1000, repeat_fraction=0.0)
+    assert spec.repeat_families == ()
+
+
+def test_repeat_spec_invalid_fraction():
+    with pytest.raises(ValueError):
+        repeat_spec(1000, 1.0)
+
+
+def test_genome_sequence_roundtrip():
+    g = random_genome(100, rng())
+    assert len(g.sequence()) == 100
+    assert set(g.sequence()) <= set("ACGT")
+
+
+def test_genome_determinism():
+    g1 = random_genome(1000, np.random.default_rng(7))
+    g2 = random_genome(1000, np.random.default_rng(7))
+    assert (g1.codes == g2.codes).all()

@@ -1,0 +1,116 @@
+"""Tests for the Illumina read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.seq import N_CODE
+from repro.simulate import (
+    UniformErrorModel,
+    illumina_like_model,
+    inject_ambiguous,
+    random_genome,
+    simulate_reads,
+)
+
+
+def rng(seed=1):
+    return np.random.default_rng(seed)
+
+
+def make_sim(coverage=20.0, pe=0.01, L=36, glen=5000, seed=1, **kw):
+    g = random_genome(glen, rng(seed))
+    return simulate_reads(
+        g, L, UniformErrorModel(L, pe), rng(seed + 1), coverage=coverage, **kw
+    )
+
+
+def test_read_count_from_coverage():
+    sim = make_sim(coverage=10.0, glen=3600, L=36)
+    assert sim.n_reads == 1000
+    assert sim.reads.uniform_length == 36
+
+
+def test_requires_exactly_one_of_nreads_coverage():
+    g = random_genome(1000, rng())
+    m = UniformErrorModel(36, 0.01)
+    with pytest.raises(ValueError):
+        simulate_reads(g, 36, m, rng())
+    with pytest.raises(ValueError):
+        simulate_reads(g, 36, m, rng(), n_reads=10, coverage=1.0)
+
+
+def test_error_rate_close_to_model():
+    sim = make_sim(coverage=30.0, pe=0.02)
+    assert 0.015 < sim.observed_error_rate() < 0.025
+
+
+def test_true_codes_match_genome_forward():
+    sim = make_sim(coverage=5.0, pe=0.0, both_strands=False)
+    g = sim.genome
+    for i in range(0, sim.n_reads, 50):
+        pos = sim.positions[i]
+        assert (sim.true_codes[i] == g.codes[pos : pos + 36]).all()
+        # With zero error rate reads equal truth.
+        assert (sim.reads.codes[i] == sim.true_codes[i]).all()
+
+
+def test_true_codes_match_genome_reverse():
+    from repro.seq import reverse_complement_codes
+
+    sim = make_sim(coverage=5.0, pe=0.0)
+    g = sim.genome
+    rev = np.flatnonzero(sim.strands == -1)
+    assert rev.size > 0
+    i = int(rev[0])
+    pos = sim.positions[i]
+    assert (
+        sim.true_codes[i]
+        == reverse_complement_codes(g.codes[pos : pos + 36])
+    ).all()
+
+
+def test_quality_scores_present_and_ranged():
+    sim = make_sim(coverage=10.0)
+    q = sim.reads.quals
+    assert q is not None
+    assert q.min() >= 2 and q.max() <= 60
+
+
+def test_quality_correlates_with_errors():
+    sim = make_sim(coverage=40.0, pe=0.02)
+    err = sim.error_mask()
+    q = sim.reads.quals
+    assert q[err].mean() < q[~err].mean() - 5
+
+
+def test_no_quality_option():
+    sim = make_sim(coverage=5.0, with_quality=False)
+    assert sim.reads.quals is None
+
+
+def test_positional_model_errors_skew_3prime():
+    g = random_genome(20_000, rng())
+    model = illumina_like_model(50, base_rate=0.005, end_multiplier=8.0)
+    sim = simulate_reads(g, 50, model, rng(3), coverage=40.0)
+    err = sim.error_mask()
+    first_half = err[:, :25].mean()
+    second_half = err[:, 25:].mean()
+    assert second_half > 1.5 * first_half
+
+
+def test_inject_ambiguous():
+    sim = make_sim(coverage=20.0)
+    sim = inject_ambiguous(sim, rng(9), read_fraction=0.5, per_read_rate=0.05)
+    n_mask = sim.reads.codes == N_CODE
+    assert n_mask.any()
+    # N bases get the floor quality.
+    assert (sim.reads.quals[n_mask] == 2).all()
+    # Reads untouched by injection still match plain simulation.
+    frac_reads_with_n = sim.reads.has_ambiguous().mean()
+    assert 0.2 < frac_reads_with_n < 0.7
+
+
+def test_read_longer_than_genome_raises():
+    g = random_genome(10, rng())
+    with pytest.raises(ValueError):
+        simulate_reads(g, 36, UniformErrorModel(36, 0.01), rng(), n_reads=1)

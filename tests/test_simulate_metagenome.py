@@ -1,0 +1,125 @@
+"""Tests for the metagenome/taxonomy simulator."""
+
+import numpy as np
+
+from repro.seq import hamming
+from repro.simulate import (
+    RANKS,
+    MetagenomeSample,
+    TaxonomySpec,
+    simulate_metagenome,
+    simulate_taxonomy,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def small_spec():
+    return TaxonomySpec(
+        gene_length=600,
+        branching={"phylum": 2, "family": 2, "genus": 2, "species": 2},
+    )
+
+
+def test_taxonomy_species_count():
+    spec = small_spec()
+    tax = simulate_taxonomy(spec, rng())
+    assert tax.n_species == spec.n_species == 16
+    assert tax.labels.shape == (16, len(RANKS))
+
+
+def test_taxonomy_labels_nested():
+    """Same genus implies same family implies same phylum."""
+    tax = simulate_taxonomy(small_spec(), rng())
+    lab = tax.labels
+    for r in range(1, len(RANKS)):
+        for u in np.unique(lab[:, r]):
+            members = lab[:, r] == u
+            assert len(np.unique(lab[members, r - 1])) == 1
+
+
+def test_divergence_ordering():
+    """Congeneric species are closer than cross-phylum species."""
+    tax = simulate_taxonomy(small_spec(), rng(3))
+    lab = tax.labels
+    genus = lab[:, RANKS.index("genus")]
+    phylum = lab[:, RANKS.index("phylum")]
+    same_genus, diff_phylum = [], []
+    n = tax.n_species
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = hamming(tax.genes[i], tax.genes[j]) / tax.spec.gene_length
+            if genus[i] == genus[j]:
+                same_genus.append(d)
+            if phylum[i] != phylum[j]:
+                diff_phylum.append(d)
+    assert np.mean(same_genus) < np.mean(diff_phylum)
+
+
+def test_units_at_rank():
+    tax = simulate_taxonomy(small_spec(), rng())
+    assert len(np.unique(tax.units_at_rank("phylum"))) == 2
+    assert len(np.unique(tax.units_at_rank("species"))) == 16
+
+
+def test_metagenome_sample_shapes():
+    tax = simulate_taxonomy(small_spec(), rng())
+    sample = simulate_metagenome(
+        tax, 500, rng(1), read_length_mean=200, read_length_sd=30,
+        min_length=100, max_length=400,
+    )
+    assert isinstance(sample, MetagenomeSample)
+    assert sample.n_reads == 500
+    assert sample.reads.lengths.min() >= 100
+    assert sample.reads.lengths.max() <= 600  # capped at gene length
+
+
+def test_metagenome_reads_match_genes():
+    tax = simulate_taxonomy(small_spec(), rng())
+    sample = simulate_metagenome(
+        tax, 200, rng(2), error_rate=0.0,
+        read_length_mean=200, read_length_sd=20, min_length=100,
+    )
+    for i in range(0, 200, 20):
+        s = int(sample.species_of_read[i])
+        off = int(sample.offsets[i])
+        ln = int(sample.reads.lengths[i])
+        assert (sample.reads.read_codes(i) == tax.genes[s][off : off + ln]).all()
+
+
+def test_metagenome_error_rate():
+    tax = simulate_taxonomy(small_spec(), rng())
+    sample = simulate_metagenome(
+        tax, 400, rng(4), error_rate=0.02,
+        read_length_mean=200, read_length_sd=0, min_length=200,
+    )
+    n_mismatch = 0
+    n_total = 0
+    for i in range(sample.n_reads):
+        s = int(sample.species_of_read[i])
+        off = int(sample.offsets[i])
+        ln = int(sample.reads.lengths[i])
+        frag = tax.genes[s][off : off + ln]
+        n_mismatch += int((sample.reads.read_codes(i) != frag).sum())
+        n_total += ln
+    rate = n_mismatch / n_total
+    assert 0.013 < rate < 0.027
+
+
+def test_canonical_clusters_partition_reads():
+    tax = simulate_taxonomy(small_spec(), rng())
+    sample = simulate_metagenome(tax, 300, rng(5))
+    clusters = sample.canonical_clusters("genus")
+    covered = np.concatenate(clusters)
+    assert sorted(covered.tolist()) == list(range(300))
+
+
+def test_abundance_skew():
+    """Log-normal abundances concentrate reads on few species."""
+    tax = simulate_taxonomy(small_spec(), rng())
+    sample = simulate_metagenome(tax, 2000, rng(6), abundance_sigma=2.0)
+    counts = np.bincount(sample.species_of_read, minlength=tax.n_species)
+    top2 = np.sort(counts)[-2:].sum()
+    assert top2 > 0.35 * 2000

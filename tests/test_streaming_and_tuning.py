@@ -1,0 +1,115 @@
+"""Tests for out-of-core construction and CLOSET grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core.closet import grid_search_parameters
+from repro.core.reptile import ReptileCorrector, ReptileParams
+from repro.eval import evaluate_correction
+from repro.kmer import (
+    iter_read_chunks,
+    merge_spectra,
+    merge_tile_tables,
+    spectrum_from_chunks,
+    spectrum_from_reads,
+    tile_table_from_chunks,
+    tile_table_from_reads,
+)
+from repro.io import ReadSet
+from repro.simulate import (
+    TaxonomySpec,
+    UniformErrorModel,
+    random_genome,
+    simulate_metagenome,
+    simulate_reads,
+    simulate_taxonomy,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    g = random_genome(6000, np.random.default_rng(0))
+    return simulate_reads(
+        g, 36, UniformErrorModel(36, 0.008), np.random.default_rng(1),
+        coverage=40.0,
+    )
+
+
+# -- streaming merges ---------------------------------------------------------
+def test_merge_spectra_equals_monolithic(sim):
+    k = 9
+    chunks = list(iter_read_chunks(sim.reads, 1000))
+    streamed = spectrum_from_chunks(iter(chunks), k)
+    mono = spectrum_from_reads(sim.reads, k)
+    assert (streamed.kmers == mono.kmers).all()
+    assert (streamed.counts == mono.counts).all()
+
+
+def test_merge_tiles_equals_monolithic(sim):
+    chunks = list(iter_read_chunks(sim.reads, 700))
+    streamed = tile_table_from_chunks(iter(chunks), k=9, quality_cutoff=15)
+    mono = tile_table_from_reads(sim.reads, k=9, quality_cutoff=15)
+    assert (streamed.tiles == mono.tiles).all()
+    assert (streamed.oc == mono.oc).all()
+    assert (streamed.og == mono.og).all()
+
+
+def test_merge_validation_errors():
+    a = spectrum_from_reads(ReadSet.from_strings(["ACGTACGT"]), 4)
+    b = spectrum_from_reads(ReadSet.from_strings(["ACGTACGT"]), 5)
+    with pytest.raises(ValueError):
+        merge_spectra(a, b)
+    ta = tile_table_from_reads(ReadSet.from_strings(["ACGTACGTAC"]), k=4)
+    tb = tile_table_from_reads(ReadSet.from_strings(["ACGTACGTAC"]), k=5)
+    with pytest.raises(ValueError):
+        merge_tile_tables(ta, tb)
+
+
+def test_streaming_empty():
+    spec = spectrum_from_chunks(iter([]), 9)
+    assert spec.n_kmers == 0
+    tt = tile_table_from_chunks(iter([]), k=9)
+    assert tt.n_tiles == 0
+
+
+def test_fit_streaming_matches_monolithic(sim):
+    """Divide-and-merge yields the identical corrector (Sec. 2.3)."""
+    params = ReptileParams(k=9, qc=15, qm=25, cg=15, cm=3)
+    mono = ReptileCorrector.fit(sim.reads, params=params)
+    streamed = ReptileCorrector.fit_streaming(
+        iter_read_chunks(sim.reads, 800), params=params
+    )
+    assert (streamed.spectrum.kmers == mono.spectrum.kmers).all()
+    assert (streamed.tiles.og == mono.tiles.og).all()
+    sub = sim.reads.subset(np.arange(300))
+    out_a = mono.correct(sub)
+    out_b = streamed.correct(sub)
+    assert (out_a.codes == out_b.codes).all()
+    m = evaluate_correction(sub.codes, out_b.codes, sim.true_codes[:300])
+    assert m.gain > 0.3
+
+
+# -- grid search ------------------------------------------------------------
+def test_grid_search_parameters():
+    spec = TaxonomySpec(
+        gene_length=600,
+        branching={"phylum": 2, "family": 2, "genus": 2, "species": 2},
+    )
+    tax = simulate_taxonomy(spec, np.random.default_rng(2))
+    sample = simulate_metagenome(
+        tax, 250, np.random.default_rng(3),
+        read_length_mean=250, read_length_sd=30, min_length=180,
+        max_length=350, error_rate=0.005, abundance_sigma=0.3,
+    )
+    result = grid_search_parameters(
+        sample.reads,
+        sample.true_labels("genus"),
+        ks=(12, 15),
+        thresholds=(0.7, 0.4),
+        gammas=(2.0 / 3.0,),
+    )
+    assert len(result.points) == 4  # 2 ks x 1 gamma x 2 thresholds
+    assert result.best.ari == max(p.ari for p in result.points)
+    assert result.best.ari > 0.0
+    rows = result.as_rows()
+    assert {"k", "t", "gamma", "ARI", "clusters"} <= set(rows[0])

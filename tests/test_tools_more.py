@@ -1,0 +1,92 @@
+"""Additional CLI coverage: redeem/shrec methods, assemble options."""
+
+import numpy as np
+import pytest
+
+from repro.tools.assemble import main as assemble_main
+from repro.tools.correct import main as correct_main
+from repro.tools.simulate import main as simulate_main
+
+
+@pytest.fixture(scope="module")
+def repeat_dataset_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli2")
+    rc = simulate_main(
+        [
+            str(out),
+            "--genome-length", "6000",
+            "--repeat-fraction", "0.3",
+            "--repeat-unit", "150",
+            "--coverage", "40",
+            "--error-rate", "0.006",
+            "--seed", "9",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+def test_simulate_with_repeats(repeat_dataset_dir):
+    from repro.io import parse_fasta
+
+    (name, seq), = parse_fasta(repeat_dataset_dir / "genome.fasta")
+    assert len(seq) == 6000
+
+
+def test_correct_tool_redeem(repeat_dataset_dir, tmp_path, capsys):
+    out = tmp_path / "redeem.fastq"
+    rc = correct_main(
+        [
+            str(repeat_dataset_dir / "reads.fastq"),
+            str(out),
+            "--method", "redeem",
+            "--k", "10",
+            "--truth", str(repeat_dataset_dir / "truth.fastq"),
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    gain = float(text.split("gain=")[1].split()[0])
+    assert gain > 0.0
+
+
+def test_correct_tool_shrec(repeat_dataset_dir, tmp_path):
+    out = tmp_path / "shrec.fastq"
+    rc = correct_main(
+        [
+            str(repeat_dataset_dir / "reads.fastq"),
+            str(out),
+            "--method", "shrec",
+            "--k", "9",
+            "--genome-length", "6000",
+        ]
+    )
+    assert rc == 0
+    assert out.exists()
+
+
+def test_assemble_min_count_filters(repeat_dataset_dir, tmp_path, capsys):
+    out1 = tmp_path / "c1.fasta"
+    out2 = tmp_path / "c2.fasta"
+    assemble_main(
+        [str(repeat_dataset_dir / "reads.fastq"), str(out1), "--k", "15"]
+    )
+    t1 = capsys.readouterr().out
+    assemble_main(
+        [
+            str(repeat_dataset_dir / "reads.fastq"),
+            str(out2),
+            "--k", "15",
+            "--min-count", "3",
+        ]
+    )
+    t2 = capsys.readouterr().out
+    edges1 = int(t1.split("graph_edges=")[1].split()[0])
+    edges2 = int(t2.split("graph_edges=")[1].split()[0])
+    # Dropping singleton k-mers removes the error blowup.
+    assert edges2 < edges1
+
+
+def test_correct_parser_rejects_bad_method():
+    with pytest.raises(SystemExit):
+        correct_main(["in.fq", "out.fq", "--method", "magic"])
