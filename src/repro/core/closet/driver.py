@@ -18,13 +18,14 @@ Two backends produce identical clusterings:
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ...io.readset import ReadSet
-from ...mapreduce import run_task
+from ...mapreduce import CheckpointStore, RetryPolicy, run_task
 from .quasiclique import QuasiCliqueClusterer
 from .similarity import read_hash_sets
 from .sketch import EdgeConstructionResult, SketchParams, build_edges
@@ -88,12 +89,24 @@ class ClosetClusterer:
         thresholds: list[float],
         backend: str = "plain",
         n_workers: int = 1,
+        policy: RetryPolicy | None = None,
+        checkpoint_dir: str | None = None,
     ) -> ClosetResult:
+        """Cluster ``reads`` at each threshold.
+
+        ``policy`` routes the MapReduce backend through the
+        fault-tolerant engine (retries, timeouts, bad-record skipping);
+        ``checkpoint_dir`` materializes the expensive edge-construction
+        phase so a rerun over identical inputs resumes past it.  Both
+        are ignored by the plain (single-process, vectorized) backend.
+        """
         thresholds = sorted(thresholds, reverse=True)
         if backend == "plain":
             return self._run_plain(reads, thresholds)
         if backend == "mapreduce":
-            return self._run_mapreduce(reads, thresholds, n_workers)
+            return self._run_mapreduce(
+                reads, thresholds, n_workers, policy, checkpoint_dir
+            )
         raise ValueError(f"unknown backend {backend!r}")
 
     # -- plain backend -------------------------------------------------
@@ -134,12 +147,22 @@ class ClosetClusterer:
             clusters_processed=processed,
         )
 
+    def _edge_fingerprint(self, reads: ReadSet, floor: float) -> str:
+        """Identity of the edge-construction phase: reads + sketch knobs."""
+        sk = self.params.sketch
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(reads.codes).tobytes())
+        h.update(repr((sk.k, sk.modulus, sk.rounds, sk.cmax, floor)).encode())
+        return h.hexdigest()
+
     # -- mapreduce backend ---------------------------------------------
     def _run_mapreduce(
         self,
         reads: ReadSet,
         thresholds: list[float],
         n_workers: int,
+        policy: RetryPolicy | None = None,
+        checkpoint_dir: str | None = None,
     ) -> ClosetResult:
         p = self.params
         sk = p.sketch
@@ -150,38 +173,74 @@ class ClosetClusterer:
         read_inputs = [(rid, h) for rid, h in enumerate(hash_sets)]
         stage["hashing"] = time.perf_counter() - t0
 
-        # Tasks 1-2 per sketch round, then Task 3 dedup.
-        t0 = time.perf_counter()
-        pair_outputs = []
-        n_predicted = 0
-        for l in range(sk.rounds):
-            groups = run_task(
-                T.task_sketch_selection(sk.modulus, l, sk.cmax),
-                read_inputs,
-                n_workers=n_workers,
-            )
-            pairs = run_task(
-                T.task_edge_generation(), groups, n_workers=n_workers
-            )
-            n_predicted += len(pairs)
-            pair_outputs.extend(pairs)
-        stage["sketching"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        directed = run_task(
-            T.task_redundant_removal(), pair_outputs, n_workers=n_workers
-        )
-        n_unique = len(directed) // 2
-        joined = run_task(
-            T.task_data_aggregation(),
-            read_inputs + directed,
-            n_workers=n_workers,
-        )
         floor = min([sk.cmin] + thresholds)
-        validated = run_task(
-            T.task_edge_validation(floor), joined, n_workers=n_workers
+        store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        fingerprint = self._edge_fingerprint(reads, floor) if store else ""
+        cached = (
+            store.load("closet-edges", 0, fingerprint) if store else None
         )
-        stage["validation"] = time.perf_counter() - t0
+        if cached is not None:
+            payload, _manifest = cached
+            validated = payload["validated"]
+            n_predicted = payload["n_predicted"]
+            n_unique = payload["n_unique"]
+            stage["sketching"] = 0.0
+            stage["validation"] = 0.0
+        else:
+            # Tasks 1-2 per sketch round, then Task 3 dedup.
+            t0 = time.perf_counter()
+            pair_outputs = []
+            n_predicted = 0
+            for l in range(sk.rounds):
+                groups = run_task(
+                    T.task_sketch_selection(sk.modulus, l, sk.cmax),
+                    read_inputs,
+                    n_workers=n_workers,
+                    policy=policy,
+                )
+                pairs = run_task(
+                    T.task_edge_generation(),
+                    groups,
+                    n_workers=n_workers,
+                    policy=policy,
+                )
+                n_predicted += len(pairs)
+                pair_outputs.extend(pairs)
+            stage["sketching"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            directed = run_task(
+                T.task_redundant_removal(),
+                pair_outputs,
+                n_workers=n_workers,
+                policy=policy,
+            )
+            n_unique = len(directed) // 2
+            joined = run_task(
+                T.task_data_aggregation(),
+                read_inputs + directed,
+                n_workers=n_workers,
+                policy=policy,
+            )
+            validated = run_task(
+                T.task_edge_validation(floor),
+                joined,
+                n_workers=n_workers,
+                policy=policy,
+            )
+            stage["validation"] = time.perf_counter() - t0
+            if store is not None:
+                store.save(
+                    "closet-edges",
+                    0,
+                    fingerprint,
+                    {
+                        "validated": validated,
+                        "n_predicted": n_predicted,
+                        "n_unique": n_unique,
+                    },
+                    seconds=stage["sketching"] + stage["validation"],
+                )
 
         if validated:
             edges = np.array([pair for pair, _ in validated], dtype=np.int64)
@@ -211,6 +270,7 @@ class ClosetClusterer:
                 T.task_edge_filtering(t),
                 list(zip(map(tuple, edges.tolist()), sims.tolist())),
                 n_workers=n_workers,
+                policy=policy,
             )
             stage["filtering"] += time.perf_counter() - t0
 
@@ -229,9 +289,13 @@ class ClosetClusterer:
                     T.task_quasiclique_merge(p.gamma_at(t)),
                     inputs,
                     n_workers=n_workers,
+                    policy=policy,
                 )
                 deduped = run_task(
-                    T.task_cluster_dedup(), merged, n_workers=n_workers
+                    T.task_cluster_dedup(),
+                    merged,
+                    n_workers=n_workers,
+                    policy=policy,
                 )
                 new_state = [es for _, es in deduped]
                 n_processed += len(new_state)

@@ -38,11 +38,16 @@ def run_table_4_2(
     thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
     backend: str = "plain",
     n_workers: int = 1,
+    policy=None,
+    checkpoint_dir: str | None = None,
 ) -> tuple[list[dict], dict]:
     """Edge and cluster quantities per stage (Table 4.2).
 
     Returns ``(rows, results)`` where ``results[name]`` keeps the full
     :class:`ClosetResult` for reuse (Tables 4.3/4.4 share the runs).
+    ``policy``/``checkpoint_dir`` pass through to the MapReduce backend
+    (fault-tolerant execution and edge-phase resume; see
+    docs/fault_tolerance.md).
     """
     if params is None:
         params = default_params()
@@ -54,6 +59,10 @@ def run_table_4_2(
             thresholds=list(thresholds),
             backend=backend,
             n_workers=n_workers,
+            policy=policy,
+            checkpoint_dir=(
+                f"{checkpoint_dir}/{name}" if checkpoint_dir else None
+            ),
         )
         results[name] = res
         er = res.edge_result
@@ -78,9 +87,13 @@ def run_table_4_3(
     thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
     backend: str = "mapreduce",
     n_workers: int = 1,
+    policy=None,
+    checkpoint_dir: str | None = None,
 ) -> list[dict]:
     """Per-stage run time (Table 4.3): sketching, validation,
-    filtering, clustering — across input sizes."""
+    filtering, clustering — across input sizes.  ``policy`` runs the
+    stages on the fault-tolerant engine; ``checkpoint_dir`` lets an
+    interrupted sweep resume past completed edge constructions."""
     if params is None:
         params = default_params()
     rows = []
@@ -90,6 +103,10 @@ def run_table_4_3(
             thresholds=list(thresholds),
             backend=backend,
             n_workers=n_workers,
+            policy=policy,
+            checkpoint_dir=(
+                f"{checkpoint_dir}/{name}" if checkpoint_dir else None
+            ),
         )
         row = {"data": name, "n_reads": sample.n_reads}
         for stage, secs in res.stage_seconds.items():

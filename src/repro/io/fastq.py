@@ -13,9 +13,28 @@ from .readset import ReadSet
 
 
 def parse_fastq(
-    source: str | Path | io.TextIOBase, offset: int = PHRED33
+    source: str | Path | io.TextIOBase,
+    offset: int = PHRED33,
+    on_error: str = "raise",
+    error_counts: dict | None = None,
 ) -> Iterator[tuple[str, str, np.ndarray]]:
-    """Yield ``(name, sequence, quality_scores)`` from a FASTQ file."""
+    """Yield ``(name, sequence, quality_scores)`` from a FASTQ file.
+
+    ``on_error="raise"`` (default) aborts on the first malformed record,
+    as before.  ``on_error="skip"`` is the tolerant mode real-world
+    instrument output needs: a malformed record (bad header, missing
+    ``+`` line, seq/qual length mismatch, undecodable qualities) is
+    skipped and counted instead of poisoning the whole stream.  Pass a
+    dict as ``error_counts`` to receive the tallies —
+    ``skipped_records`` (malformed 4-line blocks) and
+    ``truncated_records`` (an incomplete record at EOF).
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    if error_counts is None:
+        error_counts = {}
+    error_counts.setdefault("skipped_records", 0)
+    error_counts.setdefault("truncated_records", 0)
     close = False
     if isinstance(source, (str, Path)):
         handle = open(source, "rt")
@@ -30,27 +49,48 @@ def parse_fastq(
             header = header.strip()
             if not header:
                 continue
-            if not header.startswith("@"):
-                raise ValueError(f"malformed FASTQ header: {header!r}")
-            seq = handle.readline().strip()
-            plus = handle.readline().strip()
-            qual = handle.readline().strip()
-            if not plus.startswith("+"):
-                raise ValueError("malformed FASTQ record: missing '+' line")
-            if len(seq) != len(qual):
-                raise ValueError("sequence/quality length mismatch")
-            yield header[1:].split()[0], seq, decode_quality(qual, offset)
+            seq_line = handle.readline()
+            plus_line = handle.readline()
+            qual_line = handle.readline()
+            truncated = not qual_line  # EOF before the record completed
+            seq = seq_line.strip()
+            plus = plus_line.strip()
+            qual = qual_line.strip()
+            try:
+                if not header.startswith("@"):
+                    raise ValueError(f"malformed FASTQ header: {header!r}")
+                if not plus.startswith("+"):
+                    raise ValueError("malformed FASTQ record: missing '+' line")
+                if len(seq) != len(qual):
+                    raise ValueError("sequence/quality length mismatch")
+                scores = decode_quality(qual, offset)
+            except ValueError:
+                if on_error == "raise":
+                    raise
+                if truncated:
+                    error_counts["truncated_records"] += 1
+                    return
+                error_counts["skipped_records"] += 1
+                continue
+            yield header[1:].split()[0], seq, scores
     finally:
         if close:
             handle.close()
 
 
-def read_fastq(source: str | Path | io.TextIOBase, offset: int = PHRED33) -> ReadSet:
+def read_fastq(
+    source: str | Path | io.TextIOBase,
+    offset: int = PHRED33,
+    on_error: str = "raise",
+    error_counts: dict | None = None,
+) -> ReadSet:
     """Load an entire FASTQ file into a :class:`ReadSet`."""
     names: list[str] = []
     seqs: list[str] = []
     quals: list[np.ndarray] = []
-    for name, seq, q in parse_fastq(source, offset):
+    for name, seq, q in parse_fastq(
+        source, offset, on_error=on_error, error_counts=error_counts
+    ):
         names.append(name)
         seqs.append(seq)
         quals.append(q)

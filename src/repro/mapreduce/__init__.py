@@ -1,11 +1,23 @@
 """Local MapReduce engine: tasks, serial/multiprocess execution,
-pipelines with stage reports (the Hadoop stand-in for CLOSET)."""
+fault-tolerant attempts with bad-record skipping, deterministic fault
+injection, and checkpointed pipelines (the Hadoop stand-in for CLOSET)."""
 
-from .engine import run_task
-from .pipeline import Pipeline, StageReport
+from .engine import SpilledPartition, run_task, stable_partition
+from .faults import CORRUPTED, FaultPlan, FaultSpec, InjectedFault
+from .pipeline import (
+    CheckpointStore,
+    Pipeline,
+    StageReport,
+    chain_fingerprint,
+    fingerprint_data,
+)
+from .reliable import call_with_retries, run_task_reliable
 from .types import (
     Counters,
+    FatalTaskError,
     MapReduceTask,
+    RetryPolicy,
+    SkipBudgetExceeded,
     identity_mapper,
     identity_reducer,
 )
@@ -13,9 +25,23 @@ from .types import (
 __all__ = [
     "MapReduceTask",
     "Counters",
+    "RetryPolicy",
+    "FatalTaskError",
+    "SkipBudgetExceeded",
     "identity_mapper",
     "identity_reducer",
     "run_task",
+    "run_task_reliable",
+    "call_with_retries",
+    "stable_partition",
+    "SpilledPartition",
     "Pipeline",
     "StageReport",
+    "CheckpointStore",
+    "fingerprint_data",
+    "chain_fingerprint",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "CORRUPTED",
 ]

@@ -10,9 +10,16 @@ list of key/value pairs, with
   map/shuffle/reduce dataflow a Hadoop cluster provides, at
   process-pool scale (see DESIGN.md substitutions).
 
-An optional ``spill_dir`` pickles each shuffle partition to disk and
-reads it back before reducing, emulating Hadoop's disk-backed shuffle
-and bounding resident memory.
+An optional ``spill_dir`` pickles each shuffle partition to disk,
+emulating Hadoop's disk-backed shuffle: the parent keeps only
+:class:`SpilledPartition` handles, each reduce worker loads its own
+partition from disk, and every spill file is deleted as soon as its
+reduce completes — so resident memory is bounded by one partition per
+worker, not the whole shuffle.
+
+Passing a :class:`~repro.mapreduce.types.RetryPolicy` routes the job
+through :mod:`repro.mapreduce.reliable`, which adds per-chunk retries,
+timeouts, and bad-record skipping on top of the same dataflow.
 """
 
 from __future__ import annotations
@@ -20,9 +27,10 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import zlib
 from typing import Iterable
 
-from .types import KV, Counters, MapReduceTask
+from .types import KV, Counters, MapReduceTask, RetryPolicy
 
 
 def _group_by_key(pairs: Iterable[KV]) -> dict:
@@ -37,6 +45,58 @@ def _sorted_keys(groups: dict) -> list:
         return sorted(groups)
     except TypeError:
         return sorted(groups, key=repr)
+
+
+def stable_partition(key, n_partitions: int) -> int:
+    """Deterministic shuffle partition for ``key``.
+
+    ``hash()`` on strings varies across interpreter runs under
+    ``PYTHONHASHSEED`` randomization, which would make partition
+    contents (and hence the partition-ordered output) run-dependent.
+    CRC32 over the key's repr is stable across runs, seeds, and
+    platforms for the plain keys (str/int/tuple) tasks emit.
+    """
+    data = repr(key).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data) % n_partitions
+
+
+class SpilledPartition:
+    """A shuffle partition materialized to a pickle file on disk.
+
+    Picklable by path, so reduce workers can load their own partition
+    without the parent ever holding more than the handle.
+    """
+
+    __slots__ = ("path", "n_pairs")
+
+    def __init__(self, path: str, n_pairs: int):
+        self.path = path
+        self.n_pairs = n_pairs
+
+    def load(self) -> list[KV]:
+        with open(self.path, "rb") as fh:
+            return pickle.load(fh)
+
+    def delete(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def _spill_partitions(
+    partitions: list[list[KV]], spill_dir: str
+) -> list[SpilledPartition]:
+    """Write each partition to disk, returning lazy file-backed handles."""
+    os.makedirs(spill_dir, exist_ok=True)
+    spilled: list[SpilledPartition] = []
+    for i, part in enumerate(partitions):
+        fd, path = tempfile.mkstemp(prefix=f"part{i}-", dir=spill_dir)
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        spilled.append(SpilledPartition(path, len(part)))
+        partitions[i] = []  # free the in-memory copy as we go
+    return spilled
 
 
 def _map_chunk(args: tuple) -> tuple[list[KV], dict]:
@@ -64,6 +124,8 @@ def _map_chunk(args: tuple) -> tuple[list[KV], dict]:
 def _reduce_partition(args: tuple) -> tuple[list[KV], dict]:
     """Worker: group one partition by key and run the reducer."""
     task, pairs = args
+    if isinstance(pairs, SpilledPartition):
+        pairs = pairs.load()
     groups = _group_by_key(pairs)
     out: list[KV] = []
     for k in _sorted_keys(groups):
@@ -83,12 +145,29 @@ def run_task(
     counters: Counters | None = None,
     spill_dir: str | None = None,
     chunk_size: int = 4096,
+    policy: RetryPolicy | None = None,
 ) -> list[KV]:
     """Execute one map-reduce job and return its output pairs.
 
     Output is deterministic: reducers see keys in sorted order and the
-    overall output is concatenated in partition order.
+    overall output is concatenated in partition order (partitions are
+    assigned by :func:`stable_partition`, so the order survives
+    ``PYTHONHASHSEED`` changes).  With ``policy`` set, execution goes
+    through the fault-tolerant layer (retries, timeouts, skip mode).
     """
+    if policy is not None:
+        from .reliable import run_task_reliable
+
+        return run_task_reliable(
+            task,
+            inputs,
+            n_workers=n_workers,
+            n_partitions=n_partitions,
+            counters=counters,
+            spill_dir=spill_dir,
+            chunk_size=chunk_size,
+            policy=policy,
+        )
     inputs = list(inputs) if not isinstance(inputs, list) else inputs
     if counters is None:
         counters = Counters()
@@ -106,38 +185,32 @@ def run_task(
 
     chunks = [inputs[i : i + chunk_size] for i in range(0, len(inputs), chunk_size)]
     ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+    out: list[KV] = []
     with ctx.Pool(n_workers) as pool:
         map_results = pool.map(_map_chunk, [(task, c) for c in chunks])
         partitions: list[list[KV]] = [[] for _ in range(n_partitions)]
         for pairs, stats in map_results:
             counters.merge(stats)
             for k, v in pairs:
-                partitions[hash(k) % n_partitions].append((k, v))
+                partitions[stable_partition(k, n_partitions)].append((k, v))
 
         if spill_dir is not None:
-            partitions = _spill_and_reload(partitions, spill_dir)
+            spills = _spill_partitions(partitions, spill_dir)
+            del partitions
+            # Stream results so each spill file is deleted as soon as
+            # its reduce finishes — peak memory is one partition per
+            # in-flight worker, not the whole shuffle.
+            results = pool.imap(_reduce_partition, [(task, s) for s in spills])
+            for (pairs, stats), spill in zip(results, spills):
+                counters.merge(stats)
+                out.extend(pairs)
+                spill.delete()
+            return out
 
         reduce_results = pool.map(
             _reduce_partition, [(task, p) for p in partitions]
         )
-    out: list[KV] = []
     for pairs, stats in reduce_results:
         counters.merge(stats)
         out.extend(pairs)
     return out
-
-
-def _spill_and_reload(
-    partitions: list[list[KV]], spill_dir: str
-) -> list[list[KV]]:
-    """Round-trip each partition through a pickle file on disk."""
-    os.makedirs(spill_dir, exist_ok=True)
-    reloaded: list[list[KV]] = []
-    for i, part in enumerate(partitions):
-        fd, path = tempfile.mkstemp(prefix=f"part{i}-", dir=spill_dir)
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        with open(path, "rb") as fh:
-            reloaded.append(pickle.load(fh))
-        os.unlink(path)
-    return reloaded

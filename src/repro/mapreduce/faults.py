@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the MapReduce engine.
+
+A :class:`FaultPlan` wraps a :class:`~repro.mapreduce.types.MapReduceTask`
+so its mapper/reducer misbehave in controlled, *reproducible* ways —
+raise, hang past a timeout, return corrupted pairs, or kill the worker
+process — at configured rates or on configured keys.  Decisions are a
+pure function of ``(plan seed, phase, spec, record key)`` via CRC32, so
+every recovery path in :mod:`repro.mapreduce.reliable` is testable
+without flakiness: the same plan injects the same faults on every run,
+under any ``PYTHONHASHSEED``.
+
+Faults are *attempt-gated*: a spec with ``max_attempt=1`` fires only on
+attempt 0 (a transient fault that a single retry cures), while
+``max_attempt=None`` fires on every attempt (a permanent poison record
+that only skip mode can get past).  The reliable engine publishes the
+current attempt number through :func:`set_current_attempt` before each
+attempt, in the worker process and in the parent alike.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from .types import MapReduceTask
+
+#: Marker substituted for values by ``kind="corrupt"`` faults.
+CORRUPTED = "__corrupted__"
+
+_CURRENT_ATTEMPT = 0
+_IN_WORKER = False
+
+
+def set_current_attempt(attempt: int) -> None:
+    """Publish the attempt number fault specs gate on (engine-facing)."""
+    global _CURRENT_ATTEMPT
+    _CURRENT_ATTEMPT = attempt
+
+
+def current_attempt() -> int:
+    return _CURRENT_ATTEMPT
+
+
+def mark_worker_process() -> None:
+    """Pool initializer hook: ``crash`` faults only fire in workers.
+
+    Without this guard a crash fault re-executed serially in the parent
+    would take the whole job (and the test process) down with it.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``kind="raise"`` faults."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One class of injected fault.
+
+    ``kind``
+        ``"raise"`` — raise :class:`InjectedFault`;
+        ``"hang"`` — sleep ``hang_seconds`` before proceeding (trips
+        per-attempt timeouts, then completes, like a straggler);
+        ``"corrupt"`` — emit pairs whose values are replaced with
+        :data:`CORRUPTED`;
+        ``"crash"`` — ``os._exit`` the worker process (downgraded to
+        ``raise`` when running in the parent).
+    ``phase``
+        ``"map"`` or ``"reduce"`` — which side of the shuffle to hit.
+    ``rate``
+        Probability per record key, decided deterministically from the
+        plan seed (0 disables rate-based firing).
+    ``keys``
+        Explicit record keys that always fire (in addition to ``rate``).
+    ``max_attempt``
+        Fire only while ``current_attempt() < max_attempt``; ``None``
+        means fire on every attempt (a permanent fault).
+    """
+
+    kind: str
+    phase: str = "map"
+    rate: float = 0.0
+    keys: tuple = ()
+    max_attempt: int | None = 1
+    hang_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("raise", "hang", "corrupt", "crash"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.phase not in ("map", "reduce"):
+            raise ValueError(f"unknown fault phase {self.phase!r}")
+
+
+def _stable_unit(seed: int, spec_index: int, phase: str, key: Any) -> float:
+    """Uniform [0, 1) from (seed, spec, phase, key) — hash-seed stable."""
+    data = repr((seed, spec_index, phase, key)).encode("utf-8", "backslashreplace")
+    return zlib.crc32(data) / 2**32
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault specs to inject; wraps tasks picklably."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def wrap(self, task: MapReduceTask) -> MapReduceTask:
+        """Return ``task`` with its mapper/reducer under fault injection."""
+        map_specs = tuple(s for s in self.specs if s.phase == "map")
+        red_specs = tuple(s for s in self.specs if s.phase == "reduce")
+        mapper = task.mapper
+        reducer = task.reducer
+        if map_specs:
+            mapper = _FaultyFunc(task.mapper, self.seed, map_specs, "map")
+        if red_specs:
+            reducer = _FaultyFunc(task.reducer, self.seed, red_specs, "reduce")
+        return MapReduceTask(
+            name=task.name,
+            mapper=mapper,
+            reducer=reducer,
+            combiner=task.combiner,
+        )
+
+    def fires(self, spec: FaultSpec, key: Any) -> bool:
+        """Whether ``spec`` fires for ``key`` (ignoring attempt gating)."""
+        idx = self.specs.index(spec)
+        return _fires(self.seed, idx, spec, key)
+
+
+def _fires(seed: int, spec_index: int, spec: FaultSpec, key: Any) -> bool:
+    if spec.keys and key in spec.keys:
+        return True
+    if spec.rate > 0.0:
+        return _stable_unit(seed, spec_index, spec.phase, key) < spec.rate
+    return False
+
+
+class _FaultyFunc:
+    """Picklable mapper/reducer wrapper executing a tuple of FaultSpecs."""
+
+    def __init__(self, inner, seed: int, specs: tuple, phase: str):
+        self.inner = inner
+        self.seed = seed
+        self.specs = specs
+        self.phase = phase
+
+    def __call__(self, key, value):
+        corrupt = False
+        for i, spec in enumerate(self.specs):
+            if spec.max_attempt is not None and current_attempt() >= spec.max_attempt:
+                continue
+            if not _fires(self.seed, i, spec, key):
+                continue
+            if spec.kind == "raise":
+                raise InjectedFault(
+                    f"injected {self.phase} fault on key {key!r} "
+                    f"(attempt {current_attempt()})"
+                )
+            if spec.kind == "hang":
+                time.sleep(spec.hang_seconds)
+            elif spec.kind == "crash":
+                if _IN_WORKER:
+                    os._exit(13)
+                raise InjectedFault(
+                    f"injected crash on key {key!r} downgraded outside worker"
+                )
+            elif spec.kind == "corrupt":
+                corrupt = True
+        out = self.inner(key, value)
+        if corrupt:
+            return [(k, CORRUPTED) for k, _ in out]
+        return out

@@ -14,12 +14,58 @@ functions or ``functools.partial`` of them).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
 KV = tuple[Any, Any]
 Mapper = Callable[[Any, Any], Iterable[KV]]
 Reducer = Callable[[Any, list], Iterable[KV]]
+
+
+class FatalTaskError(RuntimeError):
+    """A task attempt failed beyond what the :class:`RetryPolicy` allows.
+
+    Raised by the reliable engine once retries are exhausted and
+    bad-record skipping is disabled (or its budget is spent).
+    """
+
+
+class SkipBudgetExceeded(FatalTaskError):
+    """More records were skipped than ``RetryPolicy.max_skipped_records``."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery knobs for the fault-tolerant execution layer.
+
+    Mirrors the Hadoop task-attempt model CLOSET assumes (Sec. 4.4 runs
+    on a cluster that re-executes failed tasks): each map chunk / reduce
+    partition gets ``1 + max_retries`` attempts, attempts sleep an
+    exponentially growing, jittered backoff between retries, and — when
+    ``skip_bad_records`` is on — a chunk that still fails is bisected to
+    isolate and skip the poison record(s), Hadoop "skip mode" style.
+
+    ``task_timeout`` bounds one *pool* attempt; an attempt that exceeds
+    it is treated as a straggler and re-executed serially in the parent
+    (speculative re-execution).  Timeouts cannot preempt in-process
+    (serial) attempts.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    task_timeout: float | None = None
+    skip_bad_records: bool = True
+    max_skipped_records: int | None = None
+    seed: int = 0
+
+    def backoff_seconds(self, attempt: int, salt: int = 0) -> float:
+        """Deterministic jittered backoff before ``attempt`` (>= 1)."""
+        base = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        rng = random.Random(f"{self.seed}-{attempt}-{salt}")
+        return base * (1.0 + self.backoff_jitter * rng.random())
 
 
 def identity_mapper(key: Any, value: Any) -> Iterable[KV]:

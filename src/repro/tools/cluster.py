@@ -30,10 +30,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gamma", type=float, default=2.0 / 3.0)
     p.add_argument("--backend", choices=["plain", "mapreduce"], default="plain")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "skip"],
+        default="raise",
+        help="skip (and count) malformed FASTQ records instead of aborting",
+    )
+    from ..mapreduce.reliable import add_reliability_flags
+
+    add_reliability_flags(p)
     return p
 
 
-def _load_reads(path: Path):
+def _load_reads(path: Path, on_error: str = "raise"):
     from ..io.fasta import parse_fasta
     from ..io.fastq import read_fastq
     from ..io.readset import ReadSet
@@ -44,14 +53,23 @@ def _load_reads(path: Path):
             names.append(name)
             seqs.append(seq)
         return ReadSet.from_strings(seqs, names=names)
-    return read_fastq(path)
+    error_counts: dict = {}
+    reads = read_fastq(path, on_error=on_error, error_counts=error_counts)
+    skipped = error_counts.get("skipped_records", 0)
+    truncated = error_counts.get("truncated_records", 0)
+    if skipped or truncated:
+        print(
+            f"tolerant parse: skipped {skipped} malformed record(s), "
+            f"{truncated} truncated at EOF"
+        )
+    return reads
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from ..core.closet import ClosetClusterer, ClosetParams, SketchParams
 
-    reads = _load_reads(args.input)
+    reads = _load_reads(args.input, on_error=args.on_error)
     names = reads.names or [f"read{i}" for i in range(reads.n_reads)]
     print(f"clustering {reads.n_reads} reads at thresholds {args.thresholds}")
 
@@ -64,11 +82,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
         gamma=args.gamma,
     )
+    from ..mapreduce.reliable import policy_from_args
+
+    policy = policy_from_args(args)
+    if policy is not None:
+        print(
+            f"fault tolerance: max_retries={policy.max_retries} "
+            f"timeout={policy.task_timeout} skip={policy.skip_bad_records}"
+        )
     result = ClosetClusterer(params).run(
         reads,
         thresholds=args.thresholds,
         backend=args.backend,
         n_workers=args.workers,
+        policy=policy,
+        checkpoint_dir=args.checkpoint_dir,
     )
 
     args.outdir.mkdir(parents=True, exist_ok=True)

@@ -28,6 +28,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="genome size estimate (guides k selection)")
     p.add_argument("--truth", type=Path, default=None,
                    help="truth FASTQ for scoring")
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "skip"],
+        default="raise",
+        help="skip (and count) malformed FASTQ records instead of aborting",
+    )
+    from ..mapreduce.reliable import add_reliability_flags
+
+    add_reliability_flags(p)
     return p
 
 
@@ -73,14 +82,54 @@ def _build_corrector(method: str, reads, k, genome_length):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    from ..io.fastq import read_fastq, write_fastq
+    import hashlib
 
-    reads = read_fastq(args.input)
-    print(f"read {reads.n_reads} reads from {args.input}")
-    corrector = _build_corrector(
-        args.method, reads, args.k, args.genome_length
+    from ..io.fastq import read_fastq, write_fastq
+    from ..mapreduce import CheckpointStore
+    from ..mapreduce.reliable import call_with_retries, policy_from_args
+
+    error_counts: dict = {}
+    reads = read_fastq(
+        args.input, on_error=args.on_error, error_counts=error_counts
     )
-    corrected = corrector.correct(reads)
+    print(f"read {reads.n_reads} reads from {args.input}")
+    if args.on_error == "skip":
+        skipped = error_counts.get("skipped_records", 0)
+        truncated = error_counts.get("truncated_records", 0)
+        if skipped or truncated:
+            print(
+                f"tolerant parse: skipped {skipped} malformed record(s), "
+                f"{truncated} truncated at EOF"
+            )
+
+    def _correct():
+        corrector = _build_corrector(
+            args.method, reads, args.k, args.genome_length
+        )
+        return corrector.correct(reads)
+
+    store = (
+        CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+    )
+    fingerprint = ""
+    if store is not None:
+        h = hashlib.sha256(reads.codes.tobytes())
+        h.update(repr((args.method, args.k, args.genome_length)).encode())
+        fingerprint = h.hexdigest()
+    cached = store.load("corrected", 0, fingerprint) if store else None
+    if cached is not None:
+        corrected = cached[0]
+        print("resumed corrected reads from checkpoint")
+    else:
+        policy = policy_from_args(args)
+        if policy is not None:
+            corrected = call_with_retries(
+                _correct, policy, description=f"{args.method} correction"
+            )
+        else:
+            corrected = _correct()
+        if store is not None:
+            store.save("corrected", 0, fingerprint, corrected)
     n_changed = int((corrected.codes != reads.codes).sum())
     write_fastq(corrected, args.output)
     print(f"{args.method}: changed {n_changed} bases; wrote {args.output}")

@@ -146,6 +146,51 @@ def test_fastq_malformed():
         list(parse_fastq(io.StringIO("@x\nACGT\n+\nII\n")))
 
 
+def test_fastq_tolerant_skips_malformed_records():
+    content = (
+        "@r0\nACGT\n+\nIIII\n"
+        "@r1\nACGT\nBAD\nIIII\n"       # missing '+' line
+        "@r2\nAC\n+\nIIII\n"           # seq/qual length mismatch
+        "XXXX\nACGT\n+\nIIII\n"        # bad header
+        "@r3\nTTTT\n+\nIIII\n"
+    )
+    counts: dict = {}
+    records = list(
+        parse_fastq(io.StringIO(content), on_error="skip", error_counts=counts)
+    )
+    assert [name for name, _, _ in records] == ["r0", "r3"]
+    assert counts["skipped_records"] == 3
+    assert counts["truncated_records"] == 0
+
+
+def test_fastq_tolerant_truncated_file():
+    content = "@r0\nACGT\n+\nIIII\n@r1\nACGT\n+\n"  # EOF before qualities
+    counts: dict = {}
+    records = list(
+        parse_fastq(io.StringIO(content), on_error="skip", error_counts=counts)
+    )
+    assert [name for name, _, _ in records] == ["r0"]
+    assert counts["truncated_records"] == 1
+    assert counts["skipped_records"] == 0
+    # raise mode still aborts on the truncated record
+    with pytest.raises(ValueError):
+        list(parse_fastq(io.StringIO(content)))
+
+
+def test_read_fastq_tolerant_loads_good_records():
+    content = "@r0\nACGT\n+\nIIII\n@bad\nAC\n+\nIIII\n@r1\nTTTT\n+\nIIII\n"
+    counts: dict = {}
+    rs = read_fastq(io.StringIO(content), on_error="skip", error_counts=counts)
+    assert rs.names == ["r0", "r1"]
+    assert rs.sequences() == ["ACGT", "TTTT"]
+    assert counts["skipped_records"] == 1
+
+
+def test_parse_fastq_rejects_unknown_on_error():
+    with pytest.raises(ValueError):
+        list(parse_fastq(io.StringIO("@x\nA\n+\nI\n"), on_error="ignore"))
+
+
 def test_fastq_default_quality():
     rs = ReadSet.from_strings(["ACGT"])
     buf = io.StringIO()

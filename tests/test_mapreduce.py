@@ -1,5 +1,11 @@
 """Tests for the local MapReduce engine."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -7,9 +13,11 @@ from repro.mapreduce import (
     Counters,
     MapReduceTask,
     Pipeline,
+    SpilledPartition,
     identity_mapper,
     identity_reducer,
     run_task,
+    stable_partition,
 )
 
 
@@ -145,6 +153,82 @@ def test_pipeline_two_stages():
     out = dict(pipe.run(wordcount_inputs()))
     assert out == EXPECTED
     assert [r.name for r in pipe.reports] == ["id", "wc"]
+
+
+def test_spilled_partitions_are_lazy(tmp_path):
+    """Spilling must hand back file-backed handles, not reloaded lists —
+    otherwise peak memory is unchanged and the spill is pointless."""
+    from repro.mapreduce.engine import _spill_partitions
+
+    parts = [[("a", 1)], [("b", 2), ("b", 3)]]
+    spills = _spill_partitions(parts, str(tmp_path))
+    assert all(isinstance(s, SpilledPartition) for s in spills)
+    assert parts == [[], []]  # in-memory copies released at spill time
+    assert len(list(tmp_path.iterdir())) == 2
+    assert spills[1].load() == [("b", 2), ("b", 3)]
+    assert [s.n_pairs for s in spills] == [1, 2]
+    for s in spills:
+        s.delete()
+        s.delete()  # idempotent
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_stable_partition_properties():
+    for n in (1, 2, 7):
+        for key in ("word", 42, ("tuple", 1), 3.5):
+            p = stable_partition(key, n)
+            assert 0 <= p < n
+            assert p == stable_partition(key, n)  # pure function
+
+
+# The job a subprocess runs to expose partition assignment: with the
+# old hash()-based partitioner, the output order (concatenated in
+# partition order) and the partition map changed with PYTHONHASHSEED.
+_HASHSEED_SCRIPT = """
+import json
+from repro.mapreduce import MapReduceTask, run_task, stable_partition
+
+def m(k, v):
+    for w in v.split():
+        yield w, 1
+
+def r(k, vs):
+    yield k, sum(vs)
+
+words = "apple banana cherry date elderberry fig grape honeydew"
+data = [(i, words) for i in range(20)]
+out = run_task(MapReduceTask("wc", m, r), data, n_workers=2, n_partitions=4,
+               chunk_size=5)
+print(json.dumps({
+    "order": [k for k, _ in out],
+    "parts": {w: stable_partition(w, 4) for w, _ in out},
+}))
+"""
+
+
+def test_shuffle_partitioning_stable_across_hash_seeds():
+    src = str(Path(__file__).resolve().parent.parent / "src")
+
+    def run_with_seed(seed: str) -> dict:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = seed
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    a = run_with_seed("1")
+    b = run_with_seed("4242")
+    assert a == b
+    # str hashes really do differ between the two interpreters, so the
+    # agreement above is the partitioner's doing, not luck.
+    assert len(set(a["parts"].values())) > 1
 
 
 def test_parallel_large_input_consistency():
