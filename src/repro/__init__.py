@@ -14,7 +14,8 @@ Substrates: :mod:`repro.seq` (encodings), :mod:`repro.io` (FASTA/FASTQ,
 ReadSet), :mod:`repro.simulate` (genomes, error models, read and
 metagenome simulators), :mod:`repro.kmer` (spectra, neighborhoods,
 tiles), :mod:`repro.mapping` (RMAP-like mapper), :mod:`repro.mapreduce`
-(local MapReduce engine), :mod:`repro.baselines` (SHREC-like and
+(local MapReduce engine), :mod:`repro.parallel` (shared-spectrum
+parallel batch correction), :mod:`repro.baselines` (SHREC-like and
 spectral correctors), :mod:`repro.eval` (correction, detection and
 clustering metrics).
 """

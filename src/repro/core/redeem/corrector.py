@@ -17,7 +17,7 @@ Sec. 3.7, overridable with an explicit value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,6 +36,12 @@ class RedeemCorrector:
     model: RedeemModel
     error_model: KmerErrorModel
     dmax: int
+    #: Cached ``(detection_threshold, mixture_fit)`` — the mixture
+    #: inference is a pure function of the fitted T, so one computation
+    #: serves every correction chunk (and every parallel worker agrees).
+    _threshold_cache: tuple[float, MixtureFit] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def fit(
@@ -93,7 +99,14 @@ class RedeemCorrector:
 
     # -- detection -------------------------------------------------------
     def infer_threshold(self, group_range: range = range(1, 4)) -> tuple[float, MixtureFit]:
-        """Mixture-model threshold on T (Sec. 3.7)."""
+        """Mixture-model threshold on T (Sec. 3.7); cached for the
+        default group range."""
+        if group_range == range(1, 4):
+            if self._threshold_cache is None:
+                self._threshold_cache = infer_threshold(
+                    self.T, group_range=group_range
+                )
+            return self._threshold_cache
         return infer_threshold(self.T, group_range=group_range)
 
     def detect(self, threshold: float | None = None) -> np.ndarray:
@@ -139,3 +152,45 @@ class RedeemCorrector:
             "n_flagged_reads": int(flags.sum()),
             "n_bases_changed": int(n_changed),
         }
+
+    def correct_chunk(self, reads: ReadSet) -> tuple[ReadSet, dict]:
+        """Correct one batch of reads; the per-chunk unit of the
+        parallel engine.
+
+        Thresholds come from the (cached) whole-model mixture fit and
+        the posterior of each spectrum k-mer is independent of which
+        other k-mers a chunk requests, so chunked output is bitwise
+        identical to a whole-set :meth:`correct`.
+        """
+        thr, fit = self.infer_threshold()
+        liberal = max(thr, 0.5 * fit.coverage_peak)
+        flags = flag_suspicious_reads(self.model, reads, liberal)
+        corrected, n_changed = correct_reads(
+            self.model, reads, liberal, detection_threshold=thr
+        )
+        return corrected, {
+            "flagged_reads": int(flags.sum()),
+            "bases_changed": int(n_changed),
+        }
+
+    def correct_parallel(
+        self,
+        reads: ReadSet,
+        workers: int = 1,
+        chunk_size: int = 2048,
+        policy=None,
+        spectrum_backing: str = "inherit",
+    ):
+        """Batch correction across worker processes sharing this
+        corrector's spectrum/EM estimates; see
+        :func:`repro.parallel.correct_in_parallel`."""
+        from ...parallel import correct_in_parallel
+
+        return correct_in_parallel(
+            self,
+            reads,
+            workers=workers,
+            chunk_size=chunk_size,
+            policy=policy,
+            spectrum_backing=spectrum_backing,
+        )

@@ -217,6 +217,47 @@ class ReptileCorrector:
             validated=validated,
         )
 
+    def correct_chunk(self, reads: ReadSet) -> tuple[ReadSet, dict]:
+        """Correct one batch of reads; the per-chunk unit of the
+        parallel engine.
+
+        Correction is per-read against the fitted (immutable) phase-1
+        structures, so chunking at any boundary yields output bitwise
+        identical to one whole-set :meth:`run`.
+        """
+        result = self.run(reads)
+        s = result.stats
+        return result.reads, {
+            "tiles_examined": s.tiles_examined,
+            "tiles_valid": s.tiles_valid,
+            "tiles_corrected": s.tiles_corrected,
+            "tiles_insufficient": s.tiles_insufficient,
+            "bases_changed": s.bases_changed,
+            "ambiguous_converted": result.n_ambiguous_converted,
+        }
+
+    def correct_parallel(
+        self,
+        reads: ReadSet,
+        workers: int = 1,
+        chunk_size: int = 2048,
+        policy=None,
+        spectrum_backing: str = "inherit",
+    ):
+        """Batch correction across worker processes sharing this
+        corrector's spectrum/tiles; see
+        :func:`repro.parallel.correct_in_parallel`."""
+        from ...parallel import correct_in_parallel
+
+        return correct_in_parallel(
+            self,
+            reads,
+            workers=workers,
+            chunk_size=chunk_size,
+            policy=policy,
+            spectrum_backing=spectrum_backing,
+        )
+
     def memory_estimate_bytes(self) -> int:
         """Rough footprint of the phase-1 structures."""
         total = self.spectrum.kmers.nbytes + self.spectrum.counts.nbytes

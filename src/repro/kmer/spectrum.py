@@ -14,6 +14,7 @@ import numpy as np
 
 from ..io.readset import ReadSet
 from ..seq.encoding import (
+    check_k,
     kmer_codes_from_reads,
     kmer_codes_from_sequence,
     revcomp_kmer_codes,
@@ -43,6 +44,11 @@ class KmerSpectrum:
         return self.n_kmers
 
     def __contains__(self, code: int) -> bool:
+        # Explicit empty guard: membership in an empty spectrum is a
+        # legitimate query (e.g. a chunk whose reads were all < k) and
+        # must answer False, never raise.
+        if self.kmers.size == 0:
+            return False
         i = int(np.searchsorted(self.kmers, np.uint64(code)))
         return i < self.kmers.size and self.kmers[i] == np.uint64(code)
 
@@ -76,7 +82,14 @@ def read_kmer_codes(
     reads: ReadSet, k: int, both_strands: bool = True
 ) -> np.ndarray:
     """Flat array of all valid (N-free, in-bounds) k-mer codes in a
-    read set, optionally including each k-mer's reverse complement."""
+    read set, optionally including each k-mer's reverse complement.
+
+    ``k`` is validated up front so an out-of-range value raises even
+    when every read is shorter than ``k`` (previously that combination
+    silently returned an empty array); reads shorter than a *valid*
+    ``k`` simply contribute nothing.
+    """
+    check_k(k)
     pieces: list[np.ndarray] = []
     lengths = reads.lengths
     for ln in np.unique(lengths):
@@ -110,6 +123,7 @@ def spectrum_from_sequence(
     seq_codes: np.ndarray, k: int, both_strands: bool = False
 ) -> KmerSpectrum:
     """k-spectrum of one long sequence (e.g. the reference genome)."""
+    check_k(k)
     codes = kmer_codes_from_sequence(
         np.where(np.asarray(seq_codes) < 4, seq_codes, 0), k
     )

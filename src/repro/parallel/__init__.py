@@ -1,0 +1,15 @@
+"""Parallel batch-correction engine (shared-spectrum workers).
+
+See :mod:`repro.parallel.engine` for the execution model and
+:mod:`repro.parallel.shared` for the shared-memory spectrum backing.
+"""
+
+from .engine import ParallelRunReport, correct_in_parallel
+from .shared import HAVE_SHARED_MEMORY, SharedSpectrumHandle
+
+__all__ = [
+    "ParallelRunReport",
+    "correct_in_parallel",
+    "SharedSpectrumHandle",
+    "HAVE_SHARED_MEMORY",
+]

@@ -1,0 +1,253 @@
+"""Parallel batch correction over a shared, immutable k-spectrum.
+
+Reptile and REDEEM correct each read independently against read-only
+phase-1 structures (spectrum, tiles, EM attempt estimates) — an
+embarrassingly parallel workload.  This engine forks ``workers``
+processes over contiguous read chunks:
+
+- the fitted corrector and the input :class:`ReadSet` are installed in
+  a module global *before* the pool is created, so children receive
+  them through fork's copy-on-write pages — the spectrum is
+  materialized once, never pickled per task (RECKONER's and BFC's
+  shared-index architecture).  ``spectrum_backing="shared"`` moves the
+  spectrum arrays into explicit ``multiprocessing.shared_memory``
+  segments for the duration of the run;
+- each task submission carries only ``(chunk_start, chunk_stop)``;
+  each result returns the corrected code block plus a per-chunk
+  counter dict, merged into one :class:`Counters` run report;
+- results are reassembled **in read order** regardless of completion
+  order, so the output is bitwise identical to the serial path;
+- retries, per-attempt timeouts (straggler re-execution in the
+  parent), worker-crash pool rebuilds, and skip mode come from
+  :mod:`repro.mapreduce.reliable` — the two runtimes share one fault
+  model.  A chunk that keeps failing degrades to per-read correction;
+  a read that *still* fails is passed through uncorrected and counted
+  as ``skipped_reads``;
+- ``workers=1`` (or a platform without fork, or fewer chunks than
+  would benefit) runs the same chunk loop serially in-process — same
+  code path, same counters, no pool.
+
+Any corrector exposing ``correct_chunk(reads) -> (ReadSet, dict)``
+with per-read-independent semantics can be driven by this engine;
+:class:`~repro.core.reptile.ReptileCorrector` and
+:class:`~repro.core.redeem.RedeemCorrector` both do.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..io.readset import ReadSet
+from ..mapreduce.reliable import _account_skip, _execute_phase, _PoolManager
+from ..mapreduce.types import Counters, RetryPolicy
+
+#: Corrector + full input ReadSet, installed before the pool forks so
+#: workers inherit them copy-on-write instead of receiving pickles.
+_WORKER_STATE: tuple | None = None
+
+
+@dataclass(frozen=True)
+class _BatchTask:
+    """Lightweight task descriptor (the only object pickled per submit
+    besides the chunk bounds)."""
+
+    name: str
+
+
+def _call_chunk(corrector, reads: ReadSet) -> tuple[ReadSet, dict]:
+    """Correct one chunk, normalizing the corrector's return shape."""
+    if hasattr(corrector, "correct_chunk"):
+        corrected, stats = corrector.correct_chunk(reads)
+    else:
+        corrected, stats = corrector.correct(reads), {}
+    return corrected, {k: int(v) for k, v in stats.items()}
+
+
+def _chunk_attempt(payload: tuple) -> tuple[tuple[int, np.ndarray], dict]:
+    """Worker entry point: correct reads ``[start, stop)`` of the
+    inherited ReadSet against the inherited corrector.
+
+    The attempt number is published through
+    :func:`repro.mapreduce.faults.set_current_attempt`, exactly as the
+    MapReduce attempts do, so the deterministic fault-injection harness
+    (attempt-gated transient faults) drives this engine too.
+    """
+    from ..mapreduce import faults
+
+    _task, bounds, attempt = payload
+    start, stop = bounds
+    corrector, reads = _WORKER_STATE
+    sub = reads.subset(np.arange(start, stop))
+    faults.set_current_attempt(attempt)
+    try:
+        corrected, stats = _call_chunk(corrector, sub)
+    finally:
+        faults.set_current_attempt(0)
+    if corrected.codes.shape != sub.codes.shape:
+        raise RuntimeError(
+            "parallel correction requires substitution-only correctors "
+            f"(chunk shape changed {sub.codes.shape} -> {corrected.codes.shape})"
+        )
+    stats["chunks_corrected"] = 1
+    stats["reads_corrected"] = stop - start
+    return (start, corrected.codes), stats
+
+
+def _skip_chunk(
+    task: _BatchTask, bounds: tuple, policy: RetryPolicy, counters: Counters
+) -> tuple[int, np.ndarray]:
+    """Degraded path for a chunk that failed every attempt: correct its
+    reads one at a time, passing poison reads through uncorrected."""
+    start, stop = bounds
+    corrector, reads = _WORKER_STATE
+    blocks: list[np.ndarray] = []
+    for i in range(start, stop):
+        sub = reads.subset(np.array([i]))
+        try:
+            corrected, stats = _call_chunk(corrector, sub)
+        except Exception:
+            # "skipped_records" keeps the reliable layer's skip budget
+            # (RetryPolicy.max_skipped_records) authoritative here too.
+            _account_skip(
+                counters,
+                policy,
+                {
+                    "skipped_reads": 1,
+                    "skipped_records": 1,
+                    "reads_corrected": 1,
+                },
+            )
+            blocks.append(sub.codes)
+        else:
+            stats["reads_corrected"] = 1
+            counters.merge(stats)
+            blocks.append(corrected.codes)
+    counters.incr("chunks_degraded")
+    return (start, np.concatenate(blocks, axis=0))
+
+
+@dataclass
+class ParallelRunReport:
+    """Corrected reads plus the run's execution record."""
+
+    reads: ReadSet
+    counters: Counters
+    n_workers: int
+    chunk_size: int
+    n_chunks: int
+    #: ``"parallel"`` (forked pool) or ``"serial"`` (in-process fallback).
+    mode: str
+    wall_seconds: float = 0.0
+    #: Bytes of spectrum data re-backed by shared memory (0 under
+    #: fork inheritance).
+    shared_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        out = {
+            "mode": self.mode,
+            "workers": self.n_workers,
+            "chunk_size": self.chunk_size,
+            "chunks": self.n_chunks,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "shared_bytes": self.shared_bytes,
+        }
+        out.update(self.counters.as_dict())
+        return out
+
+
+def _chunk_bounds(n_reads: int, chunk_size: int) -> list[tuple[int, int]]:
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        (i, min(i + chunk_size, n_reads))
+        for i in range(0, n_reads, chunk_size)
+    ]
+
+
+def correct_in_parallel(
+    corrector,
+    reads: ReadSet,
+    workers: int = 1,
+    chunk_size: int = 2048,
+    policy: RetryPolicy | None = None,
+    counters: Counters | None = None,
+    spectrum_backing: str = "inherit",
+) -> ParallelRunReport:
+    """Correct ``reads`` in ``chunk_size`` batches across ``workers``
+    processes; bitwise identical to the serial path.
+
+    ``spectrum_backing="shared"`` re-backs ``corrector.spectrum``'s
+    arrays with ``multiprocessing.shared_memory`` for the duration of
+    the run (restored afterwards); ``"inherit"`` relies on fork
+    copy-on-write.  Platforms without fork — and ``workers=1`` — take
+    the serial fallback through the identical chunk loop.
+    """
+    if spectrum_backing not in ("inherit", "shared"):
+        raise ValueError(
+            f"spectrum_backing must be 'inherit' or 'shared', "
+            f"got {spectrum_backing!r}"
+        )
+    if counters is None:
+        counters = Counters()
+    if policy is None:
+        policy = RetryPolicy(max_retries=1)
+    bounds = _chunk_bounds(reads.n_reads, chunk_size)
+    can_fork = hasattr(os, "fork")
+    use_pool = workers > 1 and can_fork and len(bounds) > 1
+    task = _BatchTask(name=f"correct[{type(corrector).__name__}]")
+
+    shared_bytes = 0
+    shared_handle = None
+    if spectrum_backing == "shared" and getattr(corrector, "spectrum", None) is not None:
+        from .shared import HAVE_SHARED_MEMORY, SharedSpectrumHandle
+
+        if HAVE_SHARED_MEMORY:
+            shared_handle = SharedSpectrumHandle(corrector.spectrum)
+            shared_bytes = shared_handle.nbytes
+
+    global _WORKER_STATE
+    prev_state = _WORKER_STATE
+    # Installed before the pool exists: forked children inherit it, and
+    # the parent needs it for the serial path, straggler re-execution,
+    # and skip mode.
+    _WORKER_STATE = (corrector, reads)
+    pool = None
+    t0 = time.perf_counter()
+    try:
+        if use_pool:
+            pool = _PoolManager(workers)
+        results = _execute_phase(
+            _chunk_attempt, task, bounds, policy, counters, pool,
+            "correct", _skip_chunk,
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        _WORKER_STATE = prev_state
+        if shared_handle is not None:
+            shared_handle.close()
+    out = reads.copy()
+    for (start, stop), (res_start, codes) in zip(bounds, results):
+        if res_start != start or codes.shape != (stop - start, out.max_length):
+            raise RuntimeError(
+                f"chunk result misaligned: expected [{start}, {stop}), "
+                f"got start {res_start} shape {codes.shape}"
+            )
+        out.codes[start:stop] = codes
+    wall = time.perf_counter() - t0
+    counters.incr("bases_changed_total", int((out.codes != reads.codes).sum()))
+    return ParallelRunReport(
+        reads=out,
+        counters=counters,
+        n_workers=workers if use_pool else 1,
+        chunk_size=chunk_size,
+        n_chunks=len(bounds),
+        mode="parallel" if use_pool else "serial",
+        wall_seconds=wall,
+        shared_bytes=shared_bytes,
+    )

@@ -1,0 +1,102 @@
+"""Shared-memory backing for the immutable k-spectrum.
+
+The batch-correction workers only ever *read* the fitted
+:class:`~repro.kmer.spectrum.KmerSpectrum`, so there is no reason for
+more than one physical copy to exist no matter how many workers run.
+Two backings achieve that:
+
+- **fork inheritance** (the engine default): the spectrum arrays live
+  in ordinary parent memory and reach the children through fork's
+  copy-on-write pages.  Since nobody writes them, the pages are never
+  duplicated.
+- **``multiprocessing.shared_memory``** (this module): the arrays are
+  moved into named POSIX shared-memory segments before the pool is
+  created.  The sharing is then explicit and independent of
+  copy-on-write semantics — useful when the surrounding process
+  touches adjacent heap pages heavily, and a stepping stone for
+  spawn-based platforms where fork inheritance does not exist.
+
+:class:`SharedSpectrumHandle` re-backs a spectrum in place and restores
+the original arrays on :meth:`close` (or context-manager exit), so the
+caller's corrector object is untouched outside the engine run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kmer.spectrum import KmerSpectrum
+
+try:  # pragma: no cover - exercised indirectly on platforms without it
+    from multiprocessing import shared_memory as _shm
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shm = None
+    HAVE_SHARED_MEMORY = False
+
+
+class SharedSpectrumHandle:
+    """Temporarily back a :class:`KmerSpectrum`'s arrays with shared memory.
+
+    Usage::
+
+        with SharedSpectrumHandle(corrector.spectrum):
+            ...  # fork workers; kmers/counts live in shared segments
+
+    On exit the spectrum points at its original (private) arrays again
+    and the segments are closed and unlinked.  Creating a handle on a
+    platform without ``multiprocessing.shared_memory`` raises
+    ``RuntimeError`` — callers should check :data:`HAVE_SHARED_MEMORY`
+    (the engine falls back to fork inheritance).
+    """
+
+    def __init__(self, spectrum: KmerSpectrum):
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        self.spectrum = spectrum
+        self._original = (spectrum.kmers, spectrum.counts)
+        self._segments: list = []
+        self._closed = False
+        try:
+            spectrum.kmers = self._share(spectrum.kmers)
+            spectrum.counts = self._share(spectrum.counts)
+        except Exception:
+            self.close()
+            raise
+
+    def _share(self, arr: np.ndarray) -> np.ndarray:
+        # Zero-byte segments are rejected by the OS; keep 1 byte and an
+        # empty view over it.
+        seg = _shm.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self._segments.append(seg)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held in shared segments."""
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Restore the private arrays and release the segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self.spectrum.kmers, self.spectrum.counts = self._original
+        for seg in self._segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedSpectrumHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

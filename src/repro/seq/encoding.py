@@ -23,9 +23,13 @@ def kmer_mask(k: int) -> int:
     return (1 << (2 * k)) - 1
 
 
-def _check_k(k: int) -> None:
+def check_k(k: int) -> None:
+    """Validate a k-mer size for the packed representation."""
     if not 1 <= k <= MAX_K:
         raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+_check_k = check_k
 
 
 def pack_kmer(codes: np.ndarray) -> int:

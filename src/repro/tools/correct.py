@@ -34,6 +34,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="skip (and count) malformed FASTQ records instead of aborting",
     )
+    g = p.add_argument_group("parallel execution")
+    g.add_argument(
+        "--workers", type=int, default=1,
+        help="correction worker processes sharing one spectrum "
+             "(1 = serial; requires a fork platform to parallelize)",
+    )
+    g.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="reads per correction task",
+    )
+    g.add_argument(
+        "--spectrum-backing", choices=["inherit", "shared"],
+        default="inherit",
+        help="how workers see the k-spectrum: fork copy-on-write "
+             "pages (inherit) or explicit shared-memory segments",
+    )
     from ..mapreduce.reliable import add_reliability_flags
 
     add_reliability_flags(p)
@@ -102,10 +118,35 @@ def main(argv: list[str] | None = None) -> int:
                 f"{truncated} truncated at EOF"
             )
 
+    policy = policy_from_args(args)
+
     def _correct():
         corrector = _build_corrector(
             args.method, reads, args.k, args.genome_length
         )
+        if args.workers != 1 and hasattr(corrector, "correct_chunk"):
+            from ..parallel import correct_in_parallel
+
+            report = correct_in_parallel(
+                corrector,
+                reads,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                policy=policy,
+                spectrum_backing=args.spectrum_backing,
+            )
+            s = report.summary()
+            print(
+                f"parallel correction: mode={s['mode']} "
+                f"workers={s['workers']} chunks={s['chunks']} "
+                f"wall={s['wall_seconds']}s"
+            )
+            return report.reads
+        if args.workers != 1:
+            print(
+                f"{args.method} does not support chunked correction; "
+                "running serially"
+            )
         return corrector.correct(reads)
 
     store = (
@@ -121,7 +162,6 @@ def main(argv: list[str] | None = None) -> int:
         corrected = cached[0]
         print("resumed corrected reads from checkpoint")
     else:
-        policy = policy_from_args(args)
         if policy is not None:
             corrected = call_with_retries(
                 _correct, policy, description=f"{args.method} correction"

@@ -1,0 +1,85 @@
+"""Regenerate the golden regression corpus.
+
+Run from the repo root **only when an intentional behavior change to a
+correction/clustering rule lands**, then commit the updated files with
+that change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Writes, per case, the fixed-seed input reads and the expected output of
+the pinned pipeline (see ``pipelines.py``).  ``--check`` regenerates to
+a temporary location and reports differences without touching the
+committed files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import pipelines as P  # noqa: E402
+
+
+def _write_case(case: str, outdir: Path) -> list[Path]:
+    from repro.io.fastq import write_fastq
+
+    spec = P.DATASETS[case]
+    if case == "closet":
+        reads = P.simulate_closet_case(spec)
+    else:
+        reads = P.simulate_case(spec)
+    reads_file = outdir / P.reads_path(case).name
+    expected_file = outdir / P.expected_path(case).name
+    write_fastq(reads, reads_file)
+
+    if case == "reptile":
+        write_fastq(P.run_reptile(reads), expected_file)
+    elif case == "redeem":
+        write_fastq(P.run_redeem(reads), expected_file)
+    else:
+        expected_file.write_text(P.run_closet(reads))
+    return [reads_file, expected_file]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--check", action="store_true",
+        help="diff against the committed corpus instead of overwriting",
+    )
+    ap.add_argument(
+        "--cases", nargs="+", default=sorted(P.DATASETS),
+        choices=sorted(P.DATASETS),
+    )
+    args = ap.parse_args(argv)
+
+    outdir = P.GOLDEN_DIR
+    if args.check:
+        import tempfile
+
+        tmp = tempfile.mkdtemp(prefix="golden-check-")
+        outdir = Path(tmp)
+    rc = 0
+    for case in args.cases:
+        written = _write_case(case, outdir)
+        for f in written:
+            committed = P.GOLDEN_DIR / f.name
+            if args.check:
+                if not committed.exists():
+                    print(f"MISSING  {committed.name}")
+                    rc = 1
+                elif committed.read_bytes() != f.read_bytes():
+                    print(f"DIFFERS  {committed.name}")
+                    rc = 1
+                else:
+                    print(f"ok       {committed.name}")
+            else:
+                print(f"wrote    {f}")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -210,3 +210,47 @@ def test_summary_and_repr_paths():
     c = Counters()
     c.incr("x")
     assert "x" in repr(c)
+
+
+# -- spectrum degenerate inputs (golden/parallel-layer hardening) ---------
+def test_spectrum_from_reads_all_reads_shorter_than_k():
+    rs = ReadSet.from_strings(["ACG", "TTAG", "C"])
+    sp = spectrum_from_reads(rs, 8)
+    assert len(sp) == 0 and sp.n_kmers == 0
+    assert sp.kmers.dtype == np.uint64 and sp.counts.dtype == np.int64
+
+
+def test_spectrum_from_reads_empty_readset():
+    rs = ReadSet.from_strings([])
+    sp = spectrum_from_reads(rs, 5)
+    assert len(sp) == 0
+
+
+def test_spectrum_from_reads_invalid_k_raises_even_when_reads_short():
+    # Previously an out-of-range k slipped through silently when every
+    # read was shorter than k; now it raises consistently.
+    rs = ReadSet.from_strings(["ACG"])
+    with pytest.raises(ValueError):
+        spectrum_from_reads(rs, 99)
+    with pytest.raises(ValueError):
+        spectrum_from_reads(rs, 0)
+
+
+def test_empty_spectrum_queries_return_zero_not_raise():
+    rs = ReadSet.from_strings(["ACG"])
+    sp = spectrum_from_reads(rs, 8)  # empty spectrum
+    assert 0 not in sp and (1 << 15) not in sp
+    codes = np.array([0, 7, 2**40], dtype=np.uint64)
+    assert (sp.count(codes) == 0).all()
+    assert (sp.index_of(codes) == -1).all()
+    assert not sp.contains(codes).any()
+    assert sp.count_scalar(12345) == 0
+
+
+def test_spectrum_from_sequence_shorter_than_k():
+    from repro.kmer import spectrum_from_sequence
+    from repro.seq import encode
+
+    sp = spectrum_from_sequence(encode("ACG"), 8)
+    assert len(sp) == 0
+    assert sp.count_scalar(0) == 0

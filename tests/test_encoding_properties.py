@@ -1,0 +1,112 @@
+"""Property-based seed sweep for :mod:`repro.seq.encoding`.
+
+~100 random ``(k, sequence)`` draws per property, each derived from a
+deterministic per-seed RNG, checking the algebraic contracts the whole
+k-mer layer rests on:
+
+- ``pack_kmer`` / ``unpack_kmer`` round-trip;
+- ``revcomp_kmer_codes`` is an involution (and agrees with a scalar
+  reference);
+- ``canonical_kmer_codes`` is idempotent and strand-symmetric;
+- ``valid_kmer_mask`` equals the brute-force window scan, and
+  the codes of valid windows match ``pack_kmer`` of the raw window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seq.alphabet import N_CODE
+from repro.seq.encoding import (
+    MAX_K,
+    canonical_kmer_codes,
+    kmer_codes_from_reads,
+    kmer_codes_from_sequence,
+    kmer_mask,
+    pack_kmer,
+    revcomp_kmer_codes,
+    unpack_kmer,
+    valid_kmer_mask,
+)
+
+SEEDS = range(100)
+
+
+def _draw(seed: int, with_n: bool = False):
+    """One random (k, sequence codes) pair for a sweep iteration."""
+    rng = np.random.default_rng(1_000 + seed)
+    k = int(rng.integers(1, MAX_K + 1))
+    length = int(rng.integers(k, k + 40))
+    codes = rng.integers(0, 4, size=length).astype(np.uint8)
+    if with_n and length and rng.random() < 0.8:
+        n_sites = rng.integers(1, max(2, length // 4))
+        codes[rng.choice(length, size=n_sites, replace=False)] = N_CODE
+    return k, codes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pack_unpack_round_trip(seed):
+    k, codes = _draw(seed)
+    kmer = codes[:k]
+    value = pack_kmer(kmer)
+    assert 0 <= value <= kmer_mask(k)
+    assert np.array_equal(unpack_kmer(value, k), kmer)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_revcomp_is_involution(seed):
+    k, codes = _draw(seed)
+    values = kmer_codes_from_sequence(codes, k)
+    twice = revcomp_kmer_codes(revcomp_kmer_codes(values, k), k)
+    assert np.array_equal(twice, values)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_revcomp_matches_scalar_reference(seed):
+    k, codes = _draw(seed)
+    kmer = codes[:k]
+    rc_ref = (3 - kmer)[::-1]  # complement then reverse, per base
+    got = revcomp_kmer_codes(
+        np.array([pack_kmer(kmer)], dtype=np.uint64), k
+    )[0]
+    assert int(got) == pack_kmer(rc_ref)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_canonical_idempotent_and_strand_symmetric(seed):
+    k, codes = _draw(seed)
+    values = kmer_codes_from_sequence(codes, k)
+    canon = canonical_kmer_codes(values, k)
+    assert np.array_equal(canonical_kmer_codes(canon, k), canon)
+    # A k-mer and its reverse complement share one canonical form.
+    assert np.array_equal(
+        canonical_kmer_codes(revcomp_kmer_codes(values, k), k), canon
+    )
+    assert (canon <= values).all()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_valid_kmer_mask_matches_bruteforce(seed):
+    k, codes = _draw(seed, with_n=True)
+    mask = valid_kmer_mask(codes[None, :], k)[0]
+    expected = np.array(
+        [
+            bool((codes[j : j + k] < 4).all())
+            for j in range(codes.size - k + 1)
+        ],
+        dtype=bool,
+    )
+    assert np.array_equal(mask, expected)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_window_codes_match_pack_on_valid_windows(seed):
+    """kmer_codes_from_reads agrees with pack_kmer wherever the window
+    is N-free (the spectrum-construction invariant)."""
+    k, codes = _draw(seed, with_n=True)
+    mask = valid_kmer_mask(codes[None, :], k)[0]
+    safe = np.where(codes < 4, codes, 0)
+    window_codes = kmer_codes_from_reads(safe[None, :], k)[0]
+    for j in np.flatnonzero(mask).tolist():
+        assert int(window_codes[j]) == pack_kmer(codes[j : j + k])
