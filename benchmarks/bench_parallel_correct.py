@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.reptile import ReptileCorrector
 from repro.parallel import correct_in_parallel
 from repro.simulate.errors import illumina_like_model
@@ -72,10 +73,12 @@ def run_scaling(
     Raises ``AssertionError`` if any run's output differs from the
     serial whole-set correction.
     """
-    corrector = ReptileCorrector.fit(reads)
-    t0 = time.perf_counter()
-    baseline = corrector.correct(reads)
-    serial_seconds = time.perf_counter() - t0
+    with telemetry.span("fit"):
+        corrector = ReptileCorrector.fit(reads)
+    with telemetry.span("serial_baseline"):
+        t0 = time.perf_counter()
+        baseline = corrector.correct(reads)
+        serial_seconds = time.perf_counter() - t0
 
     rows = [
         {
@@ -180,19 +183,26 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if 4 workers are not >= 2x serial even on a small "
              "machine (default: only asserted when >= 4 cores exist)",
     )
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a repro-run-report/1 JSON report (the same schema "
+             "the CLI tools emit; scaling rows land in `extra`)",
+    )
     args = p.parse_args(argv)
     if args.smoke:
         args.genome_length = 1_500
         args.coverage = 8.0
         args.chunk_size = 128
         args.workers = [1]
-    reads = build_dataset(args.genome_length, args.coverage)
-    rows = run_scaling(
-        reads,
-        workers_list=tuple(args.workers),
-        chunk_size=args.chunk_size,
-        spectrum_backing=args.spectrum_backing,
-    )
+    with telemetry.session("bench-parallel-correct") as tel:
+        with telemetry.span("build_dataset"):
+            reads = build_dataset(args.genome_length, args.coverage)
+        rows = run_scaling(
+            reads,
+            workers_list=tuple(args.workers),
+            chunk_size=args.chunk_size,
+            spectrum_backing=args.spectrum_backing,
+        )
     _print_rows(
         f"Parallel Reptile correction, {reads.n_reads} reads "
         f"({_effective_cores()} cores)",
@@ -200,6 +210,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     _check_speedup(rows, require=args.require_speedup)
     print("equivalence: all runs bitwise identical to serial")
+    if args.report:
+        path = tel.report(
+            argv=list(argv) if argv is not None else None,
+            extra={"scaling_rows": rows},
+        ).write(args.report)
+        print(f"wrote run report to {path}")
     return 0
 
 

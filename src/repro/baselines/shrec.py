@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.api import ChunkedCorrectorMixin
 from ..io.readset import ReadSet
 from ..kmer.spectrum import KmerSpectrum, spectrum_from_reads
 
@@ -37,9 +38,15 @@ class ShrecParams:
     genome_length: int = 1_000_000
 
 
-class ShrecCorrector:
+class ShrecCorrector(ChunkedCorrectorMixin):
     """Level-wise SHREC: weak substrings get their last base replaced
-    by a strong sibling's."""
+    by a strong sibling's.
+
+    Correction is per read against the level spectra built once in
+    ``__init__``, so the inherited chunked API
+    (:class:`~repro.core.api.ChunkedCorrectorMixin`) is exact: any
+    chunking reproduces the whole-set :meth:`correct` bitwise.
+    """
 
     def __init__(self, reads: ReadSet, params: ShrecParams):
         self.params = params

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.api import ChunkedCorrectorMixin
 from ..io.readset import ReadSet
 from ..kmer.spectrum import KmerSpectrum, spectrum_from_reads
 from ..seq.encoding import kmer_codes_from_sequence, valid_kmer_mask
@@ -27,8 +28,14 @@ class SpectralParams:
     max_edits_per_read: int = 4
 
 
-class SpectralCorrector:
-    """Greedy SAP corrector over a fixed k-spectrum."""
+class SpectralCorrector(ChunkedCorrectorMixin):
+    """Greedy SAP corrector over a fixed k-spectrum.
+
+    Each read is edited independently against the fixed spectrum, so
+    the inherited chunked API
+    (:class:`~repro.core.api.ChunkedCorrectorMixin`) reproduces the
+    whole-set :meth:`correct` bitwise at any chunk boundary.
+    """
 
     def __init__(self, reads: ReadSet, params: SpectralParams):
         self.params = params

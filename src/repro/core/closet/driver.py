@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import hashlib
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import telemetry
 from ...io.readset import ReadSet
 from ...mapreduce import CheckpointStore, RetryPolicy, run_task
 from .quasiclique import QuasiCliqueClusterer
@@ -77,6 +79,18 @@ class ClosetResult:
         }
 
 
+@contextmanager
+def _stage(stage: dict, name: str):
+    """Time one CLOSET stage: accumulates into ``stage[name]`` (the
+    Table 4.3 record) and mirrors the region as a telemetry span."""
+    with telemetry.span(f"closet.{name}"):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            stage[name] = stage.get(name, 0.0) + (time.perf_counter() - t0)
+
+
 class ClosetClusterer:
     """Sketch + quasi-clique metagenomic read clustering."""
 
@@ -115,31 +129,29 @@ class ClosetClusterer:
     ) -> ClosetResult:
         p = self.params
         stage: dict[str, float] = {}
-        t0 = time.perf_counter()
-        hash_sets = read_hash_sets(reads, p.sketch.k)
-        stage["hashing"] = time.perf_counter() - t0
+        with _stage(stage, "hashing"):
+            hash_sets = read_hash_sets(reads, p.sketch.k)
 
-        t0 = time.perf_counter()
-        # Validate candidates at the loosest threshold we will need.
-        floor = min([p.sketch.cmin] + thresholds)
-        edge_result = build_edges(
-            reads, p.sketch, threshold=floor, hash_sets=hash_sets
-        )
-        stage["sketching+validation"] = time.perf_counter() - t0
+        with _stage(stage, "sketching+validation"):
+            # Validate candidates at the loosest threshold we will need.
+            floor = min([p.sketch.cmin] + thresholds)
+            edge_result = build_edges(
+                reads, p.sketch, threshold=floor, hash_sets=hash_sets
+            )
 
-        t0 = time.perf_counter()
-        clusterer = QuasiCliqueClusterer(
-            gamma=p.gamma_at(thresholds[0]) if thresholds else 2.0 / 3.0
-        )
-        clusters: dict[float, list[np.ndarray]] = {}
-        processed: dict[float, int] = {}
-        for t in thresholds:
-            clusterer.gamma = p.gamma_at(t)
-            batch = edge_result.edges[edge_result.similarities >= t]
-            clusterer.add_edges(batch)
-            clusters[t] = clusterer.cluster_index_arrays()
-            processed[t] = clusterer.n_processed
-        stage["clustering"] = time.perf_counter() - t0
+        with _stage(stage, "clustering"):
+            clusterer = QuasiCliqueClusterer(
+                gamma=p.gamma_at(thresholds[0]) if thresholds else 2.0 / 3.0
+            )
+            clusters: dict[float, list[np.ndarray]] = {}
+            processed: dict[float, int] = {}
+            for t in thresholds:
+                clusterer.gamma = p.gamma_at(t)
+                batch = edge_result.edges[edge_result.similarities >= t]
+                clusterer.add_edges(batch)
+                clusters[t] = clusterer.cluster_index_arrays()
+                processed[t] = clusterer.n_processed
+        telemetry.count("closet_confirmed_edges", edge_result.n_confirmed)
         return ClosetResult(
             edge_result=edge_result,
             clusters=clusters,
@@ -168,10 +180,9 @@ class ClosetClusterer:
         sk = p.sketch
         stage: dict[str, float] = {}
 
-        t0 = time.perf_counter()
-        hash_sets = read_hash_sets(reads, sk.k)
-        read_inputs = [(rid, h) for rid, h in enumerate(hash_sets)]
-        stage["hashing"] = time.perf_counter() - t0
+        with _stage(stage, "hashing"):
+            hash_sets = read_hash_sets(reads, sk.k)
+            read_inputs = [(rid, h) for rid, h in enumerate(hash_sets)]
 
         floor = min([sk.cmin] + thresholds)
         store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
@@ -186,49 +197,51 @@ class ClosetClusterer:
             n_unique = payload["n_unique"]
             stage["sketching"] = 0.0
             stage["validation"] = 0.0
+            telemetry.count("closet_edge_checkpoint_resumes")
         else:
             # Tasks 1-2 per sketch round, then Task 3 dedup.
-            t0 = time.perf_counter()
-            pair_outputs = []
-            n_predicted = 0
-            for l in range(sk.rounds):
-                groups = run_task(
-                    T.task_sketch_selection(sk.modulus, l, sk.cmax),
-                    read_inputs,
-                    n_workers=n_workers,
-                    policy=policy,
-                )
-                pairs = run_task(
-                    T.task_edge_generation(),
-                    groups,
-                    n_workers=n_workers,
-                    policy=policy,
-                )
-                n_predicted += len(pairs)
-                pair_outputs.extend(pairs)
-            stage["sketching"] = time.perf_counter() - t0
+            with _stage(stage, "sketching"):
+                pair_outputs = []
+                n_predicted = 0
+                for l in range(sk.rounds):
+                    groups = run_task(
+                        T.task_sketch_selection(sk.modulus, l, sk.cmax),
+                        read_inputs,
+                        n_workers=n_workers,
+                        policy=policy,
+                    )
+                    pairs = run_task(
+                        T.task_edge_generation(),
+                        groups,
+                        n_workers=n_workers,
+                        policy=policy,
+                    )
+                    n_predicted += len(pairs)
+                    pair_outputs.extend(pairs)
+                    telemetry.tick(
+                        "sketch-rounds", total=sk.rounds, unit="rounds"
+                    )
 
-            t0 = time.perf_counter()
-            directed = run_task(
-                T.task_redundant_removal(),
-                pair_outputs,
-                n_workers=n_workers,
-                policy=policy,
-            )
-            n_unique = len(directed) // 2
-            joined = run_task(
-                T.task_data_aggregation(),
-                read_inputs + directed,
-                n_workers=n_workers,
-                policy=policy,
-            )
-            validated = run_task(
-                T.task_edge_validation(floor),
-                joined,
-                n_workers=n_workers,
-                policy=policy,
-            )
-            stage["validation"] = time.perf_counter() - t0
+            with _stage(stage, "validation"):
+                directed = run_task(
+                    T.task_redundant_removal(),
+                    pair_outputs,
+                    n_workers=n_workers,
+                    policy=policy,
+                )
+                n_unique = len(directed) // 2
+                joined = run_task(
+                    T.task_data_aggregation(),
+                    read_inputs + directed,
+                    n_workers=n_workers,
+                    policy=policy,
+                )
+                validated = run_task(
+                    T.task_edge_validation(floor),
+                    joined,
+                    n_workers=n_workers,
+                    policy=policy,
+                )
             if store is not None:
                 store.save(
                     "closet-edges",
@@ -265,46 +278,44 @@ class ClosetClusterer:
         seen_edges: set[tuple[int, int]] = set()
         n_processed = 0
         for t in thresholds:
-            t0 = time.perf_counter()
-            filtered = run_task(
-                T.task_edge_filtering(t),
-                list(zip(map(tuple, edges.tolist()), sims.tolist())),
-                n_workers=n_workers,
-                policy=policy,
-            )
-            stage["filtering"] += time.perf_counter() - t0
+            with _stage(stage, "filtering"):
+                filtered = run_task(
+                    T.task_edge_filtering(t),
+                    list(zip(map(tuple, edges.tolist()), sims.tolist())),
+                    n_workers=n_workers,
+                    policy=policy,
+                )
 
-            t0 = time.perf_counter()
-            new_edges = [
-                pair for pair, _ in filtered if pair not in seen_edges
-            ]
-            seen_edges.update(new_edges)
-            state = list(cluster_state) + [
-                ((int(i), int(j)),) for i, j in new_edges
-            ]
-            n_processed += len(new_edges)
-            for _ in range(p.merge_iterations):
-                inputs = [(f"c{idx}", es) for idx, es in enumerate(state)]
-                merged = run_task(
-                    T.task_quasiclique_merge(p.gamma_at(t)),
-                    inputs,
-                    n_workers=n_workers,
-                    policy=policy,
-                )
-                deduped = run_task(
-                    T.task_cluster_dedup(),
-                    merged,
-                    n_workers=n_workers,
-                    policy=policy,
-                )
-                new_state = [es for _, es in deduped]
-                n_processed += len(new_state)
-                if sorted(new_state) == sorted(state):
+            with _stage(stage, "clustering"):
+                new_edges = [
+                    pair for pair, _ in filtered if pair not in seen_edges
+                ]
+                seen_edges.update(new_edges)
+                state = list(cluster_state) + [
+                    ((int(i), int(j)),) for i, j in new_edges
+                ]
+                n_processed += len(new_edges)
+                for _ in range(p.merge_iterations):
+                    inputs = [(f"c{idx}", es) for idx, es in enumerate(state)]
+                    merged = run_task(
+                        T.task_quasiclique_merge(p.gamma_at(t)),
+                        inputs,
+                        n_workers=n_workers,
+                        policy=policy,
+                    )
+                    deduped = run_task(
+                        T.task_cluster_dedup(),
+                        merged,
+                        n_workers=n_workers,
+                        policy=policy,
+                    )
+                    new_state = [es for _, es in deduped]
+                    n_processed += len(new_state)
+                    if sorted(new_state) == sorted(state):
+                        state = new_state
+                        break
                     state = new_state
-                    break
-                state = new_state
-            cluster_state = state
-            stage["clustering"] += time.perf_counter() - t0
+                cluster_state = state
             arrays = []
             seen_sets: set[frozenset] = set()
             for es in cluster_state:

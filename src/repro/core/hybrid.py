@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..io.readset import ReadSet
 from .redeem.corrector import RedeemCorrector
 from .redeem.error_model import KmerErrorModel
@@ -67,9 +68,12 @@ class HybridCorrector:
         return cls(redeem=redeem, reptile_kwargs=reptile_kwargs)
 
     def run(self, reads: ReadSet) -> HybridResult:
-        stage1, stats = self.redeem.correct_with_stats(reads)
-        self.reptile = ReptileCorrector.fit(stage1, **self.reptile_kwargs)
-        result = self.reptile.run(stage1)
+        with telemetry.span("hybrid.redeem_pass"):
+            stage1, stats = self.redeem.correct_with_stats(reads)
+        with telemetry.span("hybrid.reptile_fit"):
+            self.reptile = ReptileCorrector.fit(stage1, **self.reptile_kwargs)
+        with telemetry.span("hybrid.reptile_pass"):
+            result = self.reptile.run(stage1)
         return HybridResult(
             reads=result.reads,
             redeem_stats=stats,

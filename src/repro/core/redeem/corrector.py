@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import telemetry
 from ...io.readset import ReadSet
 from ...kmer.spectrum import KmerSpectrum, spectrum_from_reads
+from ..api import ChunkedCorrectorMixin
 from .correct import correct_reads, flag_suspicious_reads
 from .em import RedeemModel, estimate_attempts
 from .error_model import KmerErrorModel, uniform_kmer_error_model
@@ -30,7 +32,7 @@ from .threshold import MixtureFit, infer_threshold
 
 
 @dataclass
-class RedeemCorrector:
+class RedeemCorrector(ChunkedCorrectorMixin):
     """Repeat-aware detector/corrector around a fitted :class:`RedeemModel`."""
 
     model: RedeemModel
@@ -67,21 +69,25 @@ class RedeemCorrector:
         if error_model is None:
             error_model = uniform_kmer_error_model(k, 0.01)
         observed = None
-        if use_quality_weights and reads.quals is not None:
-            from .qspectrum import weighted_spectrum_from_reads
+        with telemetry.span("redeem.spectrum", k=k):
+            if use_quality_weights and reads.quals is not None:
+                from .qspectrum import weighted_spectrum_from_reads
 
-            spectrum, observed = weighted_spectrum_from_reads(
-                reads, k, both_strands=both_strands
+                spectrum, observed = weighted_spectrum_from_reads(
+                    reads, k, both_strands=both_strands
+                )
+            elif spectrum is None:
+                spectrum = spectrum_from_reads(
+                    reads, k, both_strands=both_strands
+                )
+        with telemetry.span("redeem.em", dmax=dmax, max_iter=max_iter):
+            model = estimate_attempts(
+                spectrum,
+                error_model,
+                dmax=dmax,
+                max_iter=max_iter,
+                observed_counts=observed,
             )
-        elif spectrum is None:
-            spectrum = spectrum_from_reads(reads, k, both_strands=both_strands)
-        model = estimate_attempts(
-            spectrum,
-            error_model,
-            dmax=dmax,
-            max_iter=max_iter,
-            observed_counts=observed,
-        )
         return cls(model=model, error_model=error_model, dmax=dmax)
 
     # -- attempt estimates ----------------------------------------------

@@ -21,12 +21,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import telemetry
 from ...io.readset import ReadSet
 from ...kmer.masked_index import MaskedKmerIndex
 from ...kmer.neighbor_index import PrecomputedNeighborIndex, ProbingNeighborIndex
 from ...kmer.spectrum import KmerSpectrum, spectrum_from_reads
 from ...kmer.tiles import TileTable, tile_table_from_reads
 from ...seq.alphabet import reverse_complement_codes
+from ..api import ChunkedCorrectorMixin
 from .ambiguous import convert_ambiguous
 from .params import ReptileParams, select_parameters
 from .read_correct import (
@@ -48,7 +50,7 @@ class ReptileResult:
     validated: np.ndarray | None = None
 
 
-class ReptileCorrector:
+class ReptileCorrector(ChunkedCorrectorMixin):
     """Tile-based error corrector for substitution-dominated short reads."""
 
     def __init__(
@@ -106,21 +108,24 @@ class ReptileCorrector:
             from dataclasses import replace
 
             params = replace(params, **param_overrides)
-        spectrum = spectrum_from_reads(reads, params.k, both_strands=True)
-        tiles = tile_table_from_reads(
-            reads,
-            k=params.k,
-            overlap=params.overlap,
-            quality_cutoff=params.qc,
-            both_strands=True,
-        )
-        return cls(
-            params=params,
-            spectrum=spectrum,
-            tiles=tiles,
-            neighbor_backend=neighbor_backend,
-            flexible_tiling=flexible_tiling,
-        )
+        with telemetry.span("reptile.spectrum", k=params.k):
+            spectrum = spectrum_from_reads(reads, params.k, both_strands=True)
+        with telemetry.span("reptile.tiles"):
+            tiles = tile_table_from_reads(
+                reads,
+                k=params.k,
+                overlap=params.overlap,
+                quality_cutoff=params.qc,
+                both_strands=True,
+            )
+        with telemetry.span("reptile.neighbor_index", backend=neighbor_backend):
+            return cls(
+                params=params,
+                spectrum=spectrum,
+                tiles=tiles,
+                neighbor_backend=neighbor_backend,
+                flexible_tiling=flexible_tiling,
+            )
 
     @classmethod
     def fit_streaming(

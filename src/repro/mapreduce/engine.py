@@ -30,6 +30,7 @@ import tempfile
 import zlib
 from typing import Iterable
 
+from .. import telemetry
 from .types import KV, Counters, MapReduceTask, RetryPolicy
 
 
@@ -170,15 +171,17 @@ def run_task(
         )
     inputs = list(inputs) if not isinstance(inputs, list) else inputs
     if counters is None:
-        counters = Counters()
+        counters = telemetry.active_counters() or Counters()
     if n_partitions is None:
         n_partitions = max(1, n_workers)
 
     if n_workers <= 1:
-        mapped, stats = _map_chunk((task, inputs))
-        counters.merge(stats)
-        reduced, rstats = _reduce_partition((task, mapped))
-        counters.merge(rstats)
+        with telemetry.span("mapreduce.map", task=task.name):
+            mapped, stats = _map_chunk((task, inputs))
+            counters.merge(stats)
+        with telemetry.span("mapreduce.reduce", task=task.name):
+            reduced, rstats = _reduce_partition((task, mapped))
+            counters.merge(rstats)
         return reduced
 
     import multiprocessing as mp
@@ -187,29 +190,40 @@ def run_task(
     ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
     out: list[KV] = []
     with ctx.Pool(n_workers) as pool:
-        map_results = pool.map(_map_chunk, [(task, c) for c in chunks])
-        partitions: list[list[KV]] = [[] for _ in range(n_partitions)]
-        for pairs, stats in map_results:
-            counters.merge(stats)
-            for k, v in pairs:
-                partitions[stable_partition(k, n_partitions)].append((k, v))
-
-        if spill_dir is not None:
-            spills = _spill_partitions(partitions, spill_dir)
-            del partitions
-            # Stream results so each spill file is deleted as soon as
-            # its reduce finishes — peak memory is one partition per
-            # in-flight worker, not the whole shuffle.
-            results = pool.imap(_reduce_partition, [(task, s) for s in spills])
-            for (pairs, stats), spill in zip(results, spills):
+        with telemetry.span("mapreduce.map", task=task.name, chunks=len(chunks)):
+            map_results = pool.map(_map_chunk, [(task, c) for c in chunks])
+        with telemetry.span("mapreduce.shuffle", task=task.name):
+            partitions: list[list[KV]] = [[] for _ in range(n_partitions)]
+            for pairs, stats in map_results:
                 counters.merge(stats)
-                out.extend(pairs)
-                spill.delete()
-            return out
+                for k, v in pairs:
+                    partitions[stable_partition(k, n_partitions)].append((k, v))
 
-        reduce_results = pool.map(
-            _reduce_partition, [(task, p) for p in partitions]
-        )
+        with telemetry.span(
+            "mapreduce.reduce", task=task.name, partitions=n_partitions
+        ):
+            if spill_dir is not None:
+                spills = _spill_partitions(partitions, spill_dir)
+                del partitions
+                counters.incr("spilled_partitions", len(spills))
+                counters.incr(
+                    "spilled_pairs", sum(s.n_pairs for s in spills)
+                )
+                # Stream results so each spill file is deleted as soon
+                # as its reduce finishes — peak memory is one partition
+                # per in-flight worker, not the whole shuffle.
+                results = pool.imap(
+                    _reduce_partition, [(task, s) for s in spills]
+                )
+                for (pairs, stats), spill in zip(results, spills):
+                    counters.merge(stats)
+                    out.extend(pairs)
+                    spill.delete()
+                return out
+
+            reduce_results = pool.map(
+                _reduce_partition, [(task, p) for p in partitions]
+            )
     for pairs, stats in reduce_results:
         counters.merge(stats)
         out.extend(pairs)

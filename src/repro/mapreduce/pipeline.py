@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import telemetry
 from .engine import run_task
 from .types import KV, Counters, MapReduceTask, RetryPolicy
 
@@ -188,6 +189,7 @@ class Pipeline:
                 if cached is None:
                     break
                 data, manifest = cached
+                telemetry.count("pipeline_stages_resumed")
                 self.reports.append(
                     StageReport.from_counters(
                         name=task.name,
@@ -203,26 +205,31 @@ class Pipeline:
         for i in range(start, len(self.tasks)):
             task = self.tasks[i]
             counters = Counters()
-            t0 = time.perf_counter()
-            data = run_task(
-                task,
-                data,
-                n_workers=self.n_workers,
-                counters=counters,
-                spill_dir=self.spill_dir,
-                policy=self.policy,
-            )
-            seconds = time.perf_counter() - t0
-            if self.store is not None:
-                self.store.save(
-                    task.name,
-                    i,
-                    fingerprint,
+            with telemetry.span(f"pipeline.{task.name}", index=i):
+                t0 = time.perf_counter()
+                data = run_task(
+                    task,
                     data,
-                    seconds=seconds,
-                    counters=counters.as_dict(),
+                    n_workers=self.n_workers,
+                    counters=counters,
+                    spill_dir=self.spill_dir,
+                    policy=self.policy,
                 )
-                fingerprint = chain_fingerprint(fingerprint, task.name, i)
+                seconds = time.perf_counter() - t0
+                if self.store is not None:
+                    with telemetry.span("pipeline.checkpoint_save"):
+                        self.store.save(
+                            task.name,
+                            i,
+                            fingerprint,
+                            data,
+                            seconds=seconds,
+                            counters=counters.as_dict(),
+                        )
+                    fingerprint = chain_fingerprint(fingerprint, task.name, i)
+            telemetry.merge_counters(counters)
+            telemetry.count("pipeline_stages_run")
+            telemetry.tick("stages", total=len(self.tasks), unit="stages")
             self.reports.append(
                 StageReport.from_counters(
                     name=task.name,

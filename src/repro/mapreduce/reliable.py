@@ -33,6 +33,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable
 
+from .. import telemetry
 from . import faults
 from .engine import (
     SpilledPartition,
@@ -199,6 +200,7 @@ def _execute_phase(
                 skip_fn, futures.get(i),
             )
         )
+        telemetry.tick(phase, total=len(items), unit="tasks")
         if on_item_done is not None:
             on_item_done(i)
     return results
@@ -329,7 +331,7 @@ def run_task_reliable(
     """
     inputs = list(inputs) if not isinstance(inputs, list) else inputs
     if counters is None:
-        counters = Counters()
+        counters = telemetry.active_counters() or Counters()
     if n_partitions is None:
         n_partitions = max(1, n_workers)
     if policy is None:
@@ -338,25 +340,34 @@ def run_task_reliable(
     chunks = [inputs[i : i + chunk_size] for i in range(0, len(inputs), chunk_size)]
     pool = _PoolManager(n_workers) if n_workers > 1 else None
     try:
-        map_outs = _execute_phase(
-            _map_attempt, task, chunks, policy, counters, pool, "map",
-            _skip_map_chunk,
-        )
-        partitions: list[list[KV]] = [[] for _ in range(n_partitions)]
-        for pairs in map_outs:
-            for k, v in pairs:
-                partitions[stable_partition(k, n_partitions)].append((k, v))
+        with telemetry.span(
+            "mapreduce.map", task=task.name, chunks=len(chunks)
+        ):
+            map_outs = _execute_phase(
+                _map_attempt, task, chunks, policy, counters, pool, "map",
+                _skip_map_chunk,
+            )
+        with telemetry.span("mapreduce.shuffle", task=task.name):
+            partitions: list[list[KV]] = [[] for _ in range(n_partitions)]
+            for pairs in map_outs:
+                for k, v in pairs:
+                    partitions[stable_partition(k, n_partitions)].append((k, v))
 
-        items: list = partitions
-        spills: list[SpilledPartition] | None = None
-        if spill_dir is not None:
-            items = spills = _spill_partitions(partitions, spill_dir)
-            del partitions
+            items: list = partitions
+            spills: list[SpilledPartition] | None = None
+            if spill_dir is not None:
+                items = spills = _spill_partitions(partitions, spill_dir)
+                del partitions
+                counters.incr("spilled_partitions", len(spills))
+                counters.incr("spilled_pairs", sum(s.n_pairs for s in spills))
         on_done = (lambda i: spills[i].delete()) if spills is not None else None
-        reduce_outs = _execute_phase(
-            _reduce_attempt, task, items, policy, counters, pool, "reduce",
-            _skip_reduce_partition, on_item_done=on_done,
-        )
+        with telemetry.span(
+            "mapreduce.reduce", task=task.name, partitions=n_partitions
+        ):
+            reduce_outs = _execute_phase(
+                _reduce_attempt, task, items, policy, counters, pool, "reduce",
+                _skip_reduce_partition, on_item_done=on_done,
+            )
     finally:
         if pool is not None:
             pool.shutdown()

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..io.readset import ReadSet
 from ..mapreduce.reliable import _account_skip, _execute_phase, _PoolManager
 from ..mapreduce.types import Counters, RetryPolicy
@@ -132,7 +133,15 @@ def _skip_chunk(
 
 @dataclass
 class ParallelRunReport:
-    """Corrected reads plus the run's execution record."""
+    """Corrected reads plus the run's execution record.
+
+    Since the telemetry layer landed this is a **compatibility shim**:
+    the authoritative execution record is the ambient
+    :mod:`repro.telemetry` session (span ``parallel.correct``, counters
+    in the session registry, serialized by ``--report``).  The class
+    and its :meth:`summary` are kept byte-for-byte so existing
+    consumers (benchmarks, tests, scripts) continue to work unchanged.
+    """
 
     reads: ReadSet
     counters: Counters
@@ -193,7 +202,7 @@ def correct_in_parallel(
             f"got {spectrum_backing!r}"
         )
     if counters is None:
-        counters = Counters()
+        counters = telemetry.active_counters() or Counters()
     if policy is None:
         policy = RetryPolicy(max_retries=1)
     bounds = _chunk_bounds(reads.n_reads, chunk_size)
@@ -218,29 +227,38 @@ def correct_in_parallel(
     _WORKER_STATE = (corrector, reads)
     pool = None
     t0 = time.perf_counter()
-    try:
-        if use_pool:
-            pool = _PoolManager(workers)
-        results = _execute_phase(
-            _chunk_attempt, task, bounds, policy, counters, pool,
-            "correct", _skip_chunk,
-        )
-    finally:
-        if pool is not None:
-            pool.shutdown()
-        _WORKER_STATE = prev_state
-        if shared_handle is not None:
-            shared_handle.close()
-    out = reads.copy()
-    for (start, stop), (res_start, codes) in zip(bounds, results):
-        if res_start != start or codes.shape != (stop - start, out.max_length):
-            raise RuntimeError(
-                f"chunk result misaligned: expected [{start}, {stop}), "
-                f"got start {res_start} shape {codes.shape}"
+    with telemetry.span(
+        "parallel.correct",
+        workers=workers if use_pool else 1,
+        chunks=len(bounds),
+        mode="parallel" if use_pool else "serial",
+        corrector=type(corrector).__name__,
+    ):
+        try:
+            if use_pool:
+                pool = _PoolManager(workers)
+            results = _execute_phase(
+                _chunk_attempt, task, bounds, policy, counters, pool,
+                "correct", _skip_chunk,
             )
-        out.codes[start:stop] = codes
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            _WORKER_STATE = prev_state
+            if shared_handle is not None:
+                shared_handle.close()
+        out = reads.copy()
+        for (start, stop), (res_start, codes) in zip(bounds, results):
+            if res_start != start or codes.shape != (stop - start, out.max_length):
+                raise RuntimeError(
+                    f"chunk result misaligned: expected [{start}, {stop}), "
+                    f"got start {res_start} shape {codes.shape}"
+                )
+            out.codes[start:stop] = codes
     wall = time.perf_counter() - t0
     counters.incr("bases_changed_total", int((out.codes != reads.codes).sum()))
+    telemetry.gauge("parallel_shared_bytes", shared_bytes)
+    telemetry.timing("parallel_correct_seconds", wall)
     return ParallelRunReport(
         reads=out,
         counters=counters,

@@ -1,0 +1,204 @@
+"""Ambient telemetry: one session object every layer can reach.
+
+A :class:`Telemetry` bundles the three primitives — a
+:class:`~repro.telemetry.spans.SpanCollector`, a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and a family of
+:class:`~repro.telemetry.progress.Heartbeat`\\ s — for one run.  The
+module-level helpers (:func:`span`, :func:`count`, :func:`tick`,
+:func:`active_counters`) act on the *current* session held in a
+``contextvars.ContextVar``, and degrade to cheap no-ops when none is
+active, so deep layers (MapReduce engine, parallel correction,
+correctors) can instrument unconditionally without threading a
+telemetry argument through every signature — and library users who
+never open a session pay essentially nothing.
+
+Typical CLI use::
+
+    with telemetry.session("correct", progress=True) as tel:
+        with telemetry.span("fit"):
+            corrector = ReptileCorrector.fit(reads)
+        ...
+    tel.report(argv=argv).write("run.json")
+"""
+
+from __future__ import annotations
+
+import contextvars
+import sys
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .progress import Heartbeat
+from .report import RunReport
+from .spans import SpanCollector, SpanRecord
+
+
+class Telemetry:
+    """All observability state for one run."""
+
+    def __init__(
+        self,
+        tool: str = "run",
+        registry: MetricsRegistry | None = None,
+        progress: bool = False,
+        progress_stream=None,
+        heartbeat_interval: float = 2.0,
+        profile: bool = False,
+    ):
+        self.tool = tool
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.collector = SpanCollector(name=tool, profile=profile)
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeats: dict[str, Heartbeat] = {}
+        self.status = "ok"
+        self.error: str | None = None
+        self._progress_stream = (
+            (progress_stream or sys.stderr) if progress else None
+        )
+
+    # -- spans --------------------------------------------------------
+    def span(self, name: str, **meta):
+        return self.collector.span(name, **meta)
+
+    # -- counters -----------------------------------------------------
+    def count(self, name: str, amount: int = 1) -> None:
+        self.registry.incr(name, amount)
+
+    def merge_counters(self, counters) -> None:
+        """Merge a Counters/registry/dict unless it *is* the registry
+        (layers that were handed the session registry directly would
+        otherwise double count)."""
+        if counters is not self.registry and counters is not None:
+            self.registry.merge(counters)
+
+    # -- heartbeats ---------------------------------------------------
+    def heartbeat(
+        self, key: str, total: int | None = None, unit: str = "items"
+    ) -> Heartbeat:
+        """Get-or-create the heartbeat for ``key`` (updating its total)."""
+        hb = self.heartbeats.get(key)
+        if hb is None:
+            hb = Heartbeat(
+                label=f"{self.tool}:{key}",
+                total=total,
+                unit=unit,
+                interval=self.heartbeat_interval,
+                stream=self._progress_stream,
+            )
+            self.heartbeats[key] = hb
+        else:
+            hb.set_total(total)
+        return hb
+
+    def tick(
+        self, key: str, n: int = 1, total: int | None = None,
+        unit: str = "items",
+    ) -> None:
+        self.heartbeat(key, total=total, unit=unit).tick(n)
+
+    # -- lifecycle ----------------------------------------------------
+    def finish(self) -> SpanRecord:
+        for hb in self.heartbeats.values():
+            hb.close()
+        return self.collector.finish()
+
+    def report(self, argv: list[str] | None = None, extra: dict | None = None) -> RunReport:
+        """Build the run report (finishing the span tree if needed)."""
+        root = self.finish()
+        return RunReport.from_span_tree(
+            tool=self.tool,
+            root=root,
+            counters=self.registry.as_dict(),
+            gauges=self.registry.gauges(),
+            argv=argv,
+            status=self.status,
+            error=self.error,
+            extra=extra,
+        )
+
+
+_CURRENT: contextvars.ContextVar[Telemetry | None] = contextvars.ContextVar(
+    "repro_telemetry", default=None
+)
+
+
+def current() -> Telemetry | None:
+    """The active session, or None."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def session(tool: str = "run", **kwargs):
+    """Open a :class:`Telemetry` as the current ambient session.
+
+    On exit the session is finished (root span closed, heartbeats
+    flushed); an escaping exception marks ``status="error"`` and is
+    re-raised, so a report built afterwards records the failure.
+    """
+    tel = Telemetry(tool, **kwargs)
+    token = _CURRENT.set(tel)
+    try:
+        yield tel
+    except BaseException as e:
+        tel.status = "error"
+        tel.error = f"{type(e).__name__}: {e}"
+        raise
+    finally:
+        _CURRENT.reset(token)
+        tel.finish()
+
+
+@contextmanager
+def span(name: str, **meta):
+    """Ambient span: records under the current session, no-op without one."""
+    tel = current()
+    if tel is None:
+        yield None
+        return
+    with tel.span(name, **meta) as rec:
+        yield rec
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Ambient counter increment (no-op without a session)."""
+    tel = current()
+    if tel is not None:
+        tel.count(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Ambient gauge set (no-op without a session)."""
+    tel = current()
+    if tel is not None:
+        tel.registry.gauge(name, value)
+
+
+def timing(name: str, seconds: float) -> None:
+    """Ambient timing accumulation (no-op without a session)."""
+    tel = current()
+    if tel is not None:
+        tel.registry.timing(name, seconds)
+
+
+def tick(
+    key: str, n: int = 1, total: int | None = None, unit: str = "items"
+) -> None:
+    """Ambient heartbeat tick (no-op without a session)."""
+    tel = current()
+    if tel is not None:
+        tel.tick(key, n, total=total, unit=unit)
+
+
+def merge_counters(counters) -> None:
+    """Ambient merge of a finished layer's counters (no-op without a
+    session; skips the session's own registry to avoid double counts)."""
+    tel = current()
+    if tel is not None:
+        tel.merge_counters(counters)
+
+
+def active_counters():
+    """The session registry, for layers that take a ``counters`` object
+    (None without a session — callers fall back to a local Counters)."""
+    tel = current()
+    return tel.registry if tel is not None else None

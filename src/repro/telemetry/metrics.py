@@ -1,0 +1,67 @@
+"""One metrics registry for every runtime layer.
+
+:class:`MetricsRegistry` speaks the same protocol as
+:class:`repro.mapreduce.types.Counters` (``incr`` / ``merge`` /
+``__getitem__`` / ``as_dict``), so it can be handed directly to the
+MapReduce engine, the reliable layer, and the parallel correction
+engine as their ``counters`` object — every layer's counts land in one
+place instead of three.  On top of the integer counters it adds float
+**gauges** (point-in-time values: bytes, rates, thresholds) and
+accumulating **timings**.
+
+It deliberately does *not* import ``Counters`` (telemetry stays a leaf
+package with no repro dependencies); ``items()`` makes it acceptable
+to ``Counters.merge`` in the other direction.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Counters-compatible integer counters plus float gauges."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- Counters protocol --------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._data[name] = self._data.get(name, 0) + amount
+
+    def merge(self, other) -> None:
+        """Merge counters from a Counters, MetricsRegistry, or dict."""
+        data = other._data if hasattr(other, "_data") else other
+        for k, v in data.items():
+            self.incr(k, v)
+        if isinstance(other, MetricsRegistry):
+            for k, v in other._gauges.items():
+                self.gauge(k, v)
+
+    def __getitem__(self, name: str) -> int:
+        return self._data.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._data)
+
+    def items(self):
+        """Counter items — lets ``Counters.merge(registry)`` work."""
+        return self._data.items()
+
+    # -- gauges & timings ---------------------------------------------
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time value (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def timing(self, name: str, seconds: float) -> None:
+        """Accumulate seconds into a gauge (repeat calls add up)."""
+        self._gauges[name] = self._gauges.get(name, 0.0) + float(seconds)
+
+    def gauges(self) -> dict[str, float]:
+        return dict(self._gauges)
+
+    def snapshot(self) -> dict:
+        """Both families in one serializable dict."""
+        return {"counters": self.as_dict(), "gauges": self.gauges()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MetricsRegistry({self._data!r}, gauges={self._gauges!r})"

@@ -1,0 +1,85 @@
+"""Throttled progress heartbeats (reads/sec, chunks done/total).
+
+A :class:`Heartbeat` counts completed work items and emits at most one
+progress line per ``interval`` seconds — cheap enough to tick from the
+innermost task loop, quiet enough for a terminal.  With no stream it
+still counts (the final totals feed the run report) but never writes.
+
+The clock is injectable so throttling is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Heartbeat:
+    """Rate-limited progress reporter over a monotonically growing count."""
+
+    def __init__(
+        self,
+        label: str = "progress",
+        total: int | None = None,
+        unit: str = "items",
+        interval: float = 2.0,
+        stream=None,
+        clock=time.monotonic,
+    ):
+        self.label = label
+        self.total = total
+        self.unit = unit
+        self.interval = max(0.0, float(interval))
+        self.stream = stream
+        self.clock = clock
+        self.done = 0
+        self.n_emits = 0
+        self._t0 = clock()
+        self._last_emit: float | None = None
+        self._emitted_done = -1
+
+    def set_total(self, total: int | None) -> None:
+        if total is not None:
+            self.total = total
+
+    def tick(self, n: int = 1) -> bool:
+        """Record ``n`` completed items; emit if the interval elapsed."""
+        self.done += n
+        return self._maybe_emit(force=False)
+
+    def close(self) -> bool:
+        """Force one final line so a run always ends with the totals
+        (skipped when the last tick already reported this count)."""
+        if self.done == self._emitted_done:
+            return False
+        return self._maybe_emit(force=True)
+
+    # -- internals ----------------------------------------------------
+    def _maybe_emit(self, force: bool) -> bool:
+        if self.stream is None:
+            return False
+        now = self.clock()
+        reference = self._last_emit if self._last_emit is not None else self._t0
+        if not force and now - reference < self.interval:
+            return False
+        self._last_emit = now
+        self._emitted_done = self.done
+        self.n_emits += 1
+        self.stream.write(self._format_line(now) + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+        return True
+
+    def _format_line(self, now: float) -> str:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done / elapsed
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            head = f"{self.done}/{self.total} {self.unit} ({pct:.1f}%)"
+        else:
+            head = f"{self.done} {self.unit}"
+        return (
+            f"[{self.label}] {head} | {rate:.1f} {self.unit}/s "
+            f"| {elapsed:.1f}s elapsed"
+        )

@@ -1,0 +1,169 @@
+"""Hierarchical spans: wall + CPU timing for every run phase.
+
+A :class:`SpanRecord` is one timed region of a run — a CLI stage, a
+corrector fit, a MapReduce phase — with nested children forming the
+run's execution tree.  A :class:`SpanCollector` owns one tree and a
+cursor into it; ``collector.span(name)`` opens a child under the
+current cursor, so arbitrarily deep subsystems compose without passing
+records around (the ambient plumbing lives in
+:mod:`repro.telemetry.context`).
+
+Timing uses ``time.perf_counter`` (wall) and ``time.process_time``
+(CPU of this process; worker-pool CPU shows up only in the parent's
+wait, which is exactly the "how parallel was this really" signal).
+
+Stage-level spans can optionally run under :mod:`cProfile`; the top
+functions by cumulative time are stored on the record (see
+``SpanCollector(profile=True)``).  Profilers never nest: while one
+span is profiling, descendants time normally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Entries kept from a profiled span, by cumulative time.
+PROFILE_TOP_N = 20
+
+
+@dataclass
+class SpanRecord:
+    """One timed region; children are the regions opened inside it."""
+
+    name: str
+    started_at: float = 0.0  # epoch seconds (time.time)
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+    #: Top functions by cumulative time when the span was profiled.
+    profile: list[dict] | None = None
+
+    def iter_all(self):
+        """This record and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_all()
+
+    def find(self, name: str) -> "SpanRecord | None":
+        """First descendant (or self) with ``name``, depth first."""
+        for rec in self.iter_all():
+            if rec.name == name:
+                return rec
+        return None
+
+    def child_wall_seconds(self) -> float:
+        return sum(c.wall_seconds for c in self.children)
+
+    def as_dict(self) -> dict:
+        d: dict = {
+            "name": self.name,
+            "started_at": round(self.started_at, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+        }
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        if self.children:
+            d["children"] = [c.as_dict() for c in self.children]
+        if self.profile is not None:
+            d["profile"] = list(self.profile)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        return cls(
+            name=d["name"],
+            started_at=float(d.get("started_at", 0.0)),
+            wall_seconds=float(d.get("wall_seconds", 0.0)),
+            cpu_seconds=float(d.get("cpu_seconds", 0.0)),
+            meta=dict(d.get("meta", {})),
+            children=[cls.from_dict(c) for c in d.get("children", [])],
+            profile=d.get("profile"),
+        )
+
+
+def _profile_top(prof, limit: int = PROFILE_TOP_N) -> list[dict]:
+    """Flatten a cProfile run to its top entries by cumulative time."""
+    import pstats
+
+    stats = pstats.Stats(prof)
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({funcname})",
+                "ncalls": int(nc),
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda r: r["cumtime"], reverse=True)
+    return rows[:limit]
+
+
+class SpanCollector:
+    """Owns one span tree and the cursor where new spans open."""
+
+    def __init__(self, name: str = "run", profile: bool = False):
+        self.root = SpanRecord(name=name, started_at=time.time())
+        self.profile_stages = profile
+        self._stack: list[SpanRecord] = [self.root]
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._profiler_active = False
+        self._finished = False
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the cursor (0 = at the root)."""
+        return len(self._stack) - 1
+
+    @property
+    def current(self) -> SpanRecord:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, profile: bool | None = None, **meta):
+        """Open a child span under the cursor; yields its record.
+
+        ``profile`` defaults to profiling stage-level spans (direct
+        children of the root) when the collector was built with
+        ``profile=True``; pass True/False to override per span.
+        """
+        rec = SpanRecord(name=name, started_at=time.time(), meta=dict(meta))
+        self._stack[-1].children.append(rec)
+        self._stack.append(rec)
+        if profile is None:
+            profile = self.profile_stages and self.depth == 1
+        prof = None
+        if profile and not self._profiler_active:
+            import cProfile
+
+            prof = cProfile.Profile()
+            self._profiler_active = True
+            prof.enable()
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        try:
+            yield rec
+        finally:
+            rec.wall_seconds = time.perf_counter() - w0
+            rec.cpu_seconds = time.process_time() - c0
+            if prof is not None:
+                prof.disable()
+                self._profiler_active = False
+                rec.profile = _profile_top(prof)
+            self._stack.pop()
+
+    def finish(self) -> SpanRecord:
+        """Close the root span (idempotent) and return it."""
+        if not self._finished:
+            self.root.wall_seconds = time.perf_counter() - self._wall0
+            self.root.cpu_seconds = time.process_time() - self._cpu0
+            self._finished = True
+        return self.root

@@ -1,0 +1,58 @@
+"""``python -m repro.telemetry.validate`` — check run reports.
+
+Validates one or more JSON files against the ``repro-run-report/1``
+schema (see :mod:`repro.telemetry.report`); exit status 0 iff every
+file is valid.  Also reachable as ``python -m repro validate-report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .report import JSON_SCHEMA, validate_report_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-validate-report",
+        description="Validate run-report JSON files against the "
+                    "repro-run-report/1 schema.",
+    )
+    p.add_argument("reports", nargs="*", type=Path, help="report JSON files")
+    p.add_argument(
+        "--print-schema", action="store_true",
+        help="print the JSON-Schema document and exit",
+    )
+    p.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-file OK lines (problems always print)",
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.print_schema:
+        print(json.dumps(JSON_SCHEMA, indent=2))
+        return 0
+    if not args.reports:
+        print("no report files given", file=sys.stderr)
+        return 2
+    failed = 0
+    for path in args.reports:
+        problems = validate_report_file(path)
+        if problems:
+            failed += 1
+            print(f"INVALID {path}", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+        elif not args.quiet:
+            print(f"ok {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

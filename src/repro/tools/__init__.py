@@ -1,10 +1,17 @@
 """Command-line tools: simulate, correct, cluster, assemble.
 
-Run any of them as modules::
+The unified entry point is ``python -m repro`` (or the ``repro``
+console script)::
 
-    python -m repro.tools.simulate out/ --genome-length 20000
-    python -m repro.tools.correct out/reads.fastq out/corrected.fastq \
-        --truth out/truth.fastq
-    python -m repro.tools.cluster sample.fastq clusters/
-    python -m repro.tools.assemble out/corrected.fastq out/contigs.fasta
+    python -m repro simulate out/ --genome-length 20000
+    python -m repro correct out/reads.fastq out/corrected.fastq \
+        --truth out/truth.fastq --workers 4 --report run.json
+    python -m repro cluster sample.fastq clusters/ --progress
+    python -m repro assemble out/corrected.fastq out/contigs.fasta
+
+Every tool shares the telemetry flag group from
+:mod:`repro.tools.common` (``--report`` / ``--progress`` /
+``--profile``).  The legacy per-tool module entry points
+(``python -m repro.tools.<name>``) still work and print a deprecation
+note.
 """

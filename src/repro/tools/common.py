@@ -1,0 +1,128 @@
+"""Shared CLI plumbing for the ``repro`` tools.
+
+All four tools compose their parsers from the same flag groups:
+
+- **reliability** — re-exported from
+  :func:`repro.mapreduce.reliable.add_reliability_flags`;
+- **parallel execution** — :func:`add_parallel_flags`
+  (``--workers`` / ``--chunk-size`` / ``--spectrum-backing``, with
+  argparse-level ``>= 1`` validation);
+- **telemetry** — :func:`add_telemetry_flags`
+  (``--report`` / ``--progress`` / ``--profile`` /
+  ``--heartbeat-interval``) plus :func:`telemetry_session`, the
+  context manager every tool ``main`` runs under: it opens the ambient
+  :mod:`repro.telemetry` session and always writes the JSON run report
+  (status ``ok`` or ``error``) when ``--report`` was given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import contextmanager
+
+from .. import telemetry
+from ..mapreduce.reliable import add_reliability_flags, policy_from_args
+
+__all__ = [
+    "positive_int",
+    "add_parallel_flags",
+    "add_telemetry_flags",
+    "add_reliability_flags",
+    "policy_from_args",
+    "telemetry_session",
+    "deprecation_note",
+]
+
+
+def positive_int(text: str) -> int:
+    """argparse type: integer >= 1, rejected with a clear message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {value}"
+        )
+    return value
+
+
+def add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared parallel-execution flag group."""
+    g = parser.add_argument_group("parallel execution")
+    g.add_argument(
+        "--workers", type=positive_int, default=1,
+        help="correction worker processes sharing one spectrum "
+             "(1 = serial; requires a fork platform to parallelize)",
+    )
+    g.add_argument(
+        "--chunk-size", type=positive_int, default=2048,
+        help="reads per correction task",
+    )
+    g.add_argument(
+        "--spectrum-backing", choices=["inherit", "shared"],
+        default="inherit",
+        help="how workers see the k-spectrum: fork copy-on-write "
+             "pages (inherit) or explicit shared-memory segments",
+    )
+
+
+def add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared telemetry flag group."""
+    g = parser.add_argument_group("telemetry")
+    g.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a repro-run-report/1 JSON execution report "
+             "(spans, counters, environment) to PATH",
+    )
+    g.add_argument(
+        "--progress", action="store_true",
+        help="emit throttled progress heartbeats to stderr",
+    )
+    g.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each top-level stage; top functions land in "
+             "the run report",
+    )
+    g.add_argument(
+        "--heartbeat-interval", type=float, default=2.0,
+        help="seconds between progress heartbeats",
+    )
+
+
+@contextmanager
+def telemetry_session(args: argparse.Namespace, tool: str,
+                      argv: list[str] | None = None):
+    """Run a tool body under an ambient telemetry session.
+
+    Yields the :class:`repro.telemetry.Telemetry`.  When ``--report``
+    was given, the JSON report is written even if the body raises
+    (with ``status: "error"`` and the exception recorded), so failed
+    runs leave evidence too.
+    """
+    report_path = getattr(args, "report", None)
+    tel = None
+    try:
+        with telemetry.session(
+            tool,
+            progress=getattr(args, "progress", False),
+            profile=getattr(args, "profile", False),
+            heartbeat_interval=getattr(args, "heartbeat_interval", 2.0),
+        ) as tel:
+            yield tel
+    finally:
+        if tel is not None and report_path:
+            path = tel.report(argv=argv).write(report_path)
+            print(f"wrote run report to {path}")
+
+
+def deprecation_note(old: str, new: str) -> None:
+    """One-line stderr nudge from a legacy entry point to the new CLI."""
+    print(
+        f"note: `{old}` is deprecated; use `{new}` "
+        "(same flags, one unified CLI)",
+        file=sys.stderr,
+    )

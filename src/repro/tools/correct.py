@@ -1,14 +1,32 @@
-"""``python -m repro.tools.correct`` — correct a FASTQ file.
+"""``repro correct`` — correct a FASTQ file.
 
-Methods: ``reptile`` (default), ``redeem``, ``hybrid``, ``shrec``,
-``sap``.  Optionally scores the output against a truth FASTQ (as
-written by ``repro.tools.simulate``).
+Methods come from the :mod:`repro.core.api` registry: ``reptile``
+(default), ``redeem``, ``hybrid``, ``shrec``, ``sap``.  Optionally
+scores the output against a truth FASTQ (as written by
+``repro simulate``).  Chunk-capable correctors always run through the
+parallel engine's chunk loop (serial in-process at ``--workers 1``),
+so serial and parallel runs report identical counters and produce
+bitwise-identical output.
+
+Run as ``python -m repro correct …``; the legacy
+``python -m repro.tools.correct`` module entry point still works.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
+
+from .. import telemetry
+from ..core.api import available_methods, build_corrector, supports_chunking
+from ..mapreduce.reliable import add_reliability_flags, policy_from_args
+from .common import (
+    add_parallel_flags,
+    add_telemetry_flags,
+    deprecation_note,
+    telemetry_session,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -20,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("output", type=Path, help="corrected FASTQ")
     p.add_argument(
         "--method",
-        choices=["reptile", "redeem", "hybrid", "shrec", "sap"],
+        choices=available_methods(),
         default="reptile",
     )
     p.add_argument("--k", type=int, default=None, help="k-mer size")
@@ -34,82 +52,41 @@ def build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="skip (and count) malformed FASTQ records instead of aborting",
     )
-    g = p.add_argument_group("parallel execution")
-    g.add_argument(
-        "--workers", type=int, default=1,
-        help="correction worker processes sharing one spectrum "
-             "(1 = serial; requires a fork platform to parallelize)",
-    )
-    g.add_argument(
-        "--chunk-size", type=int, default=2048,
-        help="reads per correction task",
-    )
-    g.add_argument(
-        "--spectrum-backing", choices=["inherit", "shared"],
-        default="inherit",
-        help="how workers see the k-spectrum: fork copy-on-write "
-             "pages (inherit) or explicit shared-memory segments",
-    )
-    from ..mapreduce.reliable import add_reliability_flags
-
+    add_parallel_flags(p)
     add_reliability_flags(p)
+    add_telemetry_flags(p)
     return p
 
 
 def _build_corrector(method: str, reads, k, genome_length):
-    if method == "reptile":
-        from ..core.reptile import ReptileCorrector
-
-        kwargs = {}
-        if k is not None:
-            kwargs["k"] = k
-        return ReptileCorrector.fit(
-            reads, genome_length_estimate=genome_length, **kwargs
-        )
-    if method == "redeem":
-        from ..core.redeem import RedeemCorrector
-
-        return RedeemCorrector.fit(reads, k=k or 12)
-    if method == "hybrid":
-        from ..core.hybrid import HybridCorrector
-
-        return HybridCorrector.fit(
-            reads,
-            k_redeem=k or 12,
-            genome_length_estimate=genome_length,
-        )
-    if method == "shrec":
-        from ..baselines.shrec import ShrecCorrector, ShrecParams
-
-        level = (2 * (k or 9) - 1) if k else 17
-        return ShrecCorrector(
-            reads,
-            ShrecParams(
-                levels=(level,),
-                genome_length=genome_length or 1_000_000,
-            ),
-        )
-    if method == "sap":
-        from ..baselines.spectral import SpectralCorrector, SpectralParams
-
-        return SpectralCorrector(reads, SpectralParams(k=k or 12))
-    raise ValueError(method)
+    """Deprecated shim — use :func:`repro.core.api.build_corrector`."""
+    return build_corrector(method, reads, k=k, genome_length=genome_length)
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
+    with telemetry_session(args, tool="correct", argv=argv) as tel:
+        return _run(args, tel)
+
+
+def _run(args: argparse.Namespace, tel) -> int:
     import hashlib
 
     from ..io.fastq import read_fastq, write_fastq
     from ..mapreduce import CheckpointStore
-    from ..mapreduce.reliable import call_with_retries, policy_from_args
+    from ..mapreduce.reliable import call_with_retries
+    from ..parallel import correct_in_parallel
 
     error_counts: dict = {}
-    reads = read_fastq(
-        args.input, on_error=args.on_error, error_counts=error_counts
-    )
+    with telemetry.span("read_input", path=str(args.input)):
+        reads = read_fastq(
+            args.input, on_error=args.on_error, error_counts=error_counts
+        )
     print(f"read {reads.n_reads} reads from {args.input}")
+    tel.registry.gauge("reads_input", reads.n_reads)
     if args.on_error == "skip":
+        tel.registry.merge(error_counts)
         skipped = error_counts.get("skipped_records", 0)
         truncated = error_counts.get("truncated_records", 0)
         if skipped or truncated:
@@ -121,23 +98,28 @@ def main(argv: list[str] | None = None) -> int:
     policy = policy_from_args(args)
 
     def _correct():
-        corrector = _build_corrector(
-            args.method, reads, args.k, args.genome_length
-        )
-        if args.workers != 1 and hasattr(corrector, "correct_chunk"):
-            from ..parallel import correct_in_parallel
-
-            report = correct_in_parallel(
-                corrector,
-                reads,
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                policy=policy,
-                spectrum_backing=args.spectrum_backing,
+        with telemetry.span("fit", method=args.method):
+            corrector = build_corrector(
+                args.method, reads, k=args.k, genome_length=args.genome_length
             )
+        if supports_chunking(corrector):
+            # The chunk loop is bitwise identical to whole-set
+            # correction at any worker count, and it produces the same
+            # counters serially and in parallel — so every chunk-capable
+            # run goes through it, making serial/parallel reports
+            # directly comparable.
+            with telemetry.span("correct", method=args.method):
+                report = correct_in_parallel(
+                    corrector,
+                    reads,
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    policy=policy,
+                    spectrum_backing=args.spectrum_backing,
+                )
             s = report.summary()
             print(
-                f"parallel correction: mode={s['mode']} "
+                f"correction: mode={s['mode']} "
                 f"workers={s['workers']} chunks={s['chunks']} "
                 f"wall={s['wall_seconds']}s"
             )
@@ -147,7 +129,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.method} does not support chunked correction; "
                 "running serially"
             )
-        return corrector.correct(reads)
+        with telemetry.span("correct", method=args.method):
+            return corrector.correct(reads)
 
     store = (
         CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
@@ -160,27 +143,38 @@ def main(argv: list[str] | None = None) -> int:
     cached = store.load("corrected", 0, fingerprint) if store else None
     if cached is not None:
         corrected = cached[0]
+        telemetry.count("checkpoint_resumes")
         print("resumed corrected reads from checkpoint")
     else:
         if policy is not None:
             corrected = call_with_retries(
-                _correct, policy, description=f"{args.method} correction"
+                _correct, policy, counters=tel.registry,
+                description=f"{args.method} correction",
             )
         else:
             corrected = _correct()
         if store is not None:
-            store.save("corrected", 0, fingerprint, corrected)
+            with telemetry.span("checkpoint_save"):
+                store.save("corrected", 0, fingerprint, corrected)
     n_changed = int((corrected.codes != reads.codes).sum())
-    write_fastq(corrected, args.output)
+    with telemetry.span("write_output", path=str(args.output)):
+        write_fastq(corrected, args.output)
+    tel.registry.gauge("bases_changed", n_changed)
     print(f"{args.method}: changed {n_changed} bases; wrote {args.output}")
 
     if args.truth is not None:
         from ..eval.correction import evaluate_correction
 
-        truth = read_fastq(args.truth)
-        m = evaluate_correction(
-            reads.codes, corrected.codes, truth.codes, lengths=reads.lengths
-        )
+        with telemetry.span("score", truth=str(args.truth)):
+            truth = read_fastq(args.truth)
+            m = evaluate_correction(
+                reads.codes, corrected.codes, truth.codes,
+                lengths=reads.lengths,
+            )
+        tel.registry.gauge("gain", m.gain)
+        tel.registry.gauge("sensitivity", m.sensitivity)
+        tel.registry.gauge("specificity", m.specificity)
+        tel.registry.gauge("eba", m.eba)
         print(
             f"gain={m.gain:.3f} sensitivity={m.sensitivity:.3f} "
             f"specificity={m.specificity:.5f} EBA={m.eba:.4f}"
@@ -189,4 +183,5 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
+    deprecation_note("python -m repro.tools.correct", "python -m repro correct")
     raise SystemExit(main())

@@ -1,0 +1,328 @@
+"""Unit tests for the telemetry layer: spans, metrics, heartbeats,
+run reports, and the ambient session plumbing."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.mapreduce.types import Counters
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Heartbeat,
+    MetricsRegistry,
+    RunReport,
+    SpanCollector,
+    SpanRecord,
+    validate_report_dict,
+    validate_report_file,
+)
+
+
+# -- spans --------------------------------------------------------------------
+def test_span_nesting_builds_tree():
+    col = SpanCollector(name="run")
+    with col.span("fit"):
+        with col.span("spectrum", k=15):
+            pass
+        with col.span("tiles"):
+            pass
+    with col.span("correct"):
+        pass
+    root = col.finish()
+    assert [c.name for c in root.children] == ["fit", "correct"]
+    fit = root.children[0]
+    assert [c.name for c in fit.children] == ["spectrum", "tiles"]
+    assert fit.children[0].meta == {"k": 15}
+
+
+def test_span_timing_monotone_and_contained():
+    col = SpanCollector()
+    with col.span("outer"):
+        with col.span("inner"):
+            time.sleep(0.02)
+    root = col.finish()
+    outer = root.find("outer")
+    inner = root.find("inner")
+    assert inner.wall_seconds >= 0.015
+    # A child cannot take longer than its parent.
+    assert outer.wall_seconds >= inner.wall_seconds
+    assert root.wall_seconds >= outer.wall_seconds
+    assert outer.cpu_seconds >= 0.0
+
+
+def test_span_timing_recorded_when_body_raises():
+    col = SpanCollector()
+    with pytest.raises(RuntimeError):
+        with col.span("doomed"):
+            time.sleep(0.01)
+            raise RuntimeError("boom")
+    rec = col.finish().find("doomed")
+    assert rec is not None and rec.wall_seconds >= 0.005
+
+
+def test_span_record_roundtrip():
+    col = SpanCollector(name="t")
+    with col.span("a", flavor="x"):
+        with col.span("b"):
+            pass
+    root = col.finish()
+    again = SpanRecord.from_dict(root.as_dict())
+    assert [r.name for r in again.iter_all()] == [
+        r.name for r in root.iter_all()
+    ]
+    assert again.find("a").meta == {"flavor": "x"}
+
+
+def test_profile_captured_only_on_stage_spans():
+    col = SpanCollector(profile=True)
+    with col.span("stage"):
+        with col.span("nested"):
+            sum(range(1000))
+    root = col.finish()
+    assert root.find("stage").profile, "stage span should carry a profile"
+    assert root.find("nested").profile is None
+    entry = root.find("stage").profile[0]
+    assert {"function", "ncalls", "tottime", "cumtime"} <= set(entry)
+
+
+def test_finish_is_idempotent():
+    col = SpanCollector()
+    with col.span("s"):
+        pass
+    first = col.finish().wall_seconds
+    time.sleep(0.01)
+    assert col.finish().wall_seconds == first
+
+
+# -- metrics ------------------------------------------------------------------
+def test_registry_speaks_counters_protocol():
+    reg = MetricsRegistry()
+    reg.incr("a")
+    reg.incr("a", 4)
+    assert reg["a"] == 5 and reg["missing"] == 0
+    reg.merge({"a": 1, "b": 2})
+    assert reg.as_dict() == {"a": 6, "b": 2}
+
+
+def test_registry_merges_with_real_counters_both_ways():
+    reg = MetricsRegistry()
+    c = Counters()
+    c.incr("x", 3)
+    reg.merge(c)
+    assert reg["x"] == 3
+    c2 = Counters()
+    c2.merge(reg)  # items() makes the registry a valid merge source
+    assert c2["x"] == 3
+
+
+def test_gauges_and_timings():
+    reg = MetricsRegistry()
+    reg.gauge("bytes", 10)
+    reg.gauge("bytes", 20)  # last write wins
+    reg.timing("io", 0.5)
+    reg.timing("io", 0.25)  # accumulates
+    assert reg.gauges() == {"bytes": 20.0, "io": 0.75}
+    assert reg.snapshot() == {"counters": {}, "gauges": reg.gauges()}
+    reg2 = MetricsRegistry()
+    reg2.merge(reg)
+    assert reg2.gauges()["bytes"] == 20.0
+
+
+# -- heartbeats ---------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_heartbeat_throttles_on_interval():
+    clock = FakeClock()
+    out = io.StringIO()
+    hb = Heartbeat(
+        label="x", total=100, interval=2.0, stream=out, clock=clock
+    )
+    for _ in range(10):
+        hb.tick()  # no time passes: nothing emitted
+    assert hb.n_emits == 0 and hb.done == 10
+    clock.t += 2.5
+    hb.tick()
+    assert hb.n_emits == 1
+    clock.t += 0.5
+    hb.tick()  # within the interval of the last emit
+    assert hb.n_emits == 1
+    clock.t += 2.0
+    hb.tick()
+    assert hb.n_emits == 2
+    line = out.getvalue().splitlines()[0]
+    assert "[x]" in line and "items" in line and "%" in line
+
+
+def test_heartbeat_close_emits_final_line_once():
+    clock = FakeClock()
+    out = io.StringIO()
+    hb = Heartbeat(label="x", interval=1000.0, stream=out, clock=clock)
+    hb.tick(7)
+    assert hb.n_emits == 0
+    hb.close()  # forced despite the huge interval
+    assert hb.n_emits == 1 and "7 items" in out.getvalue()
+    hb.close()  # nothing new to report
+    assert hb.n_emits == 1
+
+
+def test_heartbeat_counts_without_stream():
+    hb = Heartbeat(stream=None)
+    hb.tick(5)
+    assert hb.done == 5 and hb.n_emits == 0
+    assert hb.close() is False
+
+
+# -- run report ---------------------------------------------------------------
+def _make_report() -> RunReport:
+    col = SpanCollector(name="correct")
+    with col.span("fit"):
+        time.sleep(0.005)
+    with col.span("correct"):
+        time.sleep(0.005)
+    return RunReport.from_span_tree(
+        tool="correct",
+        root=col.finish(),
+        counters={"reads": 10},
+        gauges={"gain": 0.5},
+        argv=["in.fastq", "out.fastq"],
+        extra={"note": "test"},
+    )
+
+
+def test_report_schema_roundtrip(tmp_path):
+    rep = _make_report()
+    data = json.loads(rep.to_json())
+    assert data["schema"] == SCHEMA_VERSION
+    assert validate_report_dict(data) == []
+    path = tmp_path / "deep" / "run.json"
+    rep.write(path)
+    assert validate_report_file(path) == []
+    again = RunReport.load(path)
+    assert again.counters == {"reads": 10}
+    assert again.gauges == {"gain": 0.5}
+    assert [s["name"] for s in again.stages] == ["fit", "correct"]
+    assert again.span_tree().find("fit") is not None
+
+
+def test_report_stage_fractions():
+    rep = _make_report()
+    assert rep.wall_seconds > 0
+    # Two sleeps dominate this tiny run.
+    assert 0.5 < rep.stage_fraction() <= 1.01
+    for s in rep.stages:
+        assert s["fraction"] == pytest.approx(
+            s["wall_seconds"] / rep.wall_seconds, abs=1e-3
+        )
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda d: d.update(schema="bogus/9"), "schema"),
+        (lambda d: d.update(status="maybe"), "status"),
+        (lambda d: d.update(argv=[1, 2]), "argv"),
+        (lambda d: d.update(wall_seconds=-1), "wall_seconds"),
+        (lambda d: d["counters"].update(bad=1.5), "counter"),
+        (lambda d: d["counters"].update(flag=True), "counter"),
+        (lambda d: d["gauges"].update(bad="high"), "gauge"),
+        (lambda d: d.pop("spans"), "spans"),
+        (lambda d: d["spans"].pop("name"), "name"),
+        (lambda d: d.update(stages="nope"), "stages"),
+    ],
+)
+def test_validator_rejects_malformed_documents(mutate, fragment):
+    data = json.loads(_make_report().to_json())
+    mutate(data)
+    problems = validate_report_dict(data)
+    assert problems, "expected validation failure"
+    assert any(fragment in p for p in problems)
+
+
+def test_validator_rejects_non_object():
+    assert validate_report_dict([1, 2]) == ["report must be a JSON object"]
+
+
+# -- ambient session ----------------------------------------------------------
+def test_ambient_helpers_are_noops_without_session():
+    assert telemetry.current() is None
+    with telemetry.span("orphan") as rec:
+        assert rec is None
+    telemetry.count("x")
+    telemetry.gauge("g", 1.0)
+    telemetry.timing("t", 0.1)
+    telemetry.tick("hb")
+    telemetry.merge_counters({"a": 1})
+    assert telemetry.active_counters() is None
+
+
+def test_session_collects_spans_and_counters():
+    with telemetry.session("demo") as tel:
+        with telemetry.span("stage", kind="s"):
+            telemetry.count("widgets", 3)
+        telemetry.gauge("ratio", 0.5)
+        assert telemetry.active_counters() is tel.registry
+    assert telemetry.current() is None
+    rep = tel.report(argv=["--flag"])
+    assert rep.tool == "demo" and rep.status == "ok"
+    assert rep.counters == {"widgets": 3}
+    assert rep.gauges == {"ratio": 0.5}
+    assert [s["name"] for s in rep.stages] == ["stage"]
+    assert validate_report_dict(json.loads(rep.to_json())) == []
+
+
+def test_session_records_error_status():
+    with pytest.raises(ValueError):
+        with telemetry.session("boom") as tel:
+            raise ValueError("bad input")
+    rep = tel.report()
+    assert rep.status == "error"
+    assert "ValueError: bad input" in rep.error
+    assert validate_report_dict(json.loads(rep.to_json())) == []
+
+
+def test_merge_counters_skips_own_registry():
+    with telemetry.session("m") as tel:
+        tel.count("a", 2)
+        telemetry.merge_counters(tel.registry)  # must not double
+        telemetry.merge_counters(Counters())  # empty merge fine
+    assert tel.registry.as_dict() == {"a": 2}
+
+
+def test_session_heartbeats_flow_to_stream():
+    out = io.StringIO()
+    with telemetry.session(
+        "hb", progress=True, progress_stream=out, heartbeat_interval=0.0
+    ):
+        telemetry.tick("chunks", total=4, unit="chunks")
+        telemetry.tick("chunks", 3, total=4, unit="chunks")
+    text = out.getvalue()
+    assert "[hb:chunks]" in text and "4/4 chunks" in text
+
+
+def test_engine_layers_count_into_active_session():
+    from repro.mapreduce import MapReduceTask, run_task
+
+    task = MapReduceTask(
+        name="toy",
+        mapper=lambda k, v: [(v % 2, 1)],
+        reducer=lambda k, vs: [(k, sum(vs))],
+    )
+    with telemetry.session("mr") as tel:
+        run_task(task, [(i, i) for i in range(10)])
+    counts = tel.registry.as_dict()
+    assert counts.get("map_input_records") == 10
+    assert counts.get("reduce_output_records") == 2
+    root = tel.finish()
+    assert root.find("mapreduce.map") is not None
+    assert root.find("mapreduce.reduce") is not None
