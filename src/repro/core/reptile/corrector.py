@@ -134,29 +134,45 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         params: ReptileParams,
         neighbor_backend: str = "precomputed",
         flexible_tiling: bool = True,
+        max_memory_bytes: int | None = None,
+        tmp_dir=None,
     ) -> "ReptileCorrector":
         """Phase 1 over a stream of read chunks (Sec. 2.3's divide-and-
         merge for inputs larger than memory).
 
-        Spectra and tile tables are built per chunk and merged; the
-        resulting corrector is identical to one fit on the whole input
-        at once.  Parameters must be supplied (the auto-selection
-        quantiles would need a second pass over the stream).
+        The spectrum and tile table are built from **one** traversal of
+        the stream (the earlier ``itertools.tee`` silently buffered
+        every chunk), folded with the balanced merge — or spilled to
+        disk when ``max_memory_bytes`` bounds the table memory.  The
+        resulting corrector is bitwise identical to one fit on the
+        whole input at once.  Parameters must be supplied (the
+        auto-selection quantiles need their own streamed statistics;
+        see :func:`repro.core.reptile.params.select_parameters_streaming`).
         """
         from ...kmer.streaming import (
-            spectrum_from_chunks,
-            tile_table_from_chunks,
+            SpectrumAccumulator,
+            TileAccumulator,
+            build_from_chunks,
         )
-        import itertools
 
-        chunks1, chunks2 = itertools.tee(chunks)
-        spectrum = spectrum_from_chunks(chunks1, params.k, both_strands=True)
-        tiles = tile_table_from_chunks(
-            chunks2,
-            k=params.k,
+        spec_acc = SpectrumAccumulator(
+            params.k,
+            both_strands=True,
+            max_memory_bytes=max_memory_bytes,
+            tmp_dir=tmp_dir,
+        )
+        tile_acc = TileAccumulator(
+            params.k,
             overlap=params.overlap,
             quality_cutoff=params.qc,
             both_strands=True,
+            max_memory_bytes=max_memory_bytes,
+            tmp_dir=tmp_dir,
+        )
+        with telemetry.span("reptile.fit_streaming", k=params.k):
+            spectrum, tiles = build_from_chunks(chunks, [spec_acc, tile_acc])
+        telemetry.gauge(
+            "spill_bytes", spec_acc.spill_bytes + tile_acc.spill_bytes
         )
         return cls(
             params=params,

@@ -119,6 +119,111 @@ def select_parameters(
     return base
 
 
+def quality_histogram(reads: ReadSet) -> np.ndarray:
+    """Histogram of in-read quality scores (index = score).
+
+    The streaming accumulator behind :func:`select_parameters_streaming`:
+    per-chunk histograms simply add, so the Qc/Qm quantiles of a
+    dataset larger than memory are recovered exactly.  Returns an
+    empty array when the read set has no quality scores.
+    """
+    if reads.quals is None or reads.n_reads == 0:
+        return np.zeros(0, dtype=np.int64)
+    cols = np.arange(reads.max_length)[None, :]
+    in_read = cols < reads.lengths[:, None]
+    return np.bincount(reads.quals[in_read]).astype(np.int64)
+
+
+def add_histograms(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sum two bincount histograms of possibly different lengths."""
+    if a.size < b.size:
+        a, b = b, a
+    out = a.copy()
+    out[: b.size] += b
+    return out
+
+
+def quantile_int_from_histogram(hist: np.ndarray, q: float) -> int:
+    """``int(np.quantile(values, q))`` computed from a value histogram.
+
+    Replicates numpy's linear-interpolation quantile on the implied
+    sorted value array (virtual index and lerp formulas included), so
+    streamed parameter selection is bitwise identical to the
+    monolithic :func:`select_parameters` — without materializing the
+    per-base score array.
+    """
+    hist = np.asarray(hist, dtype=np.int64)
+    n = int(hist.sum())
+    if n == 0:
+        raise ValueError("empty histogram has no quantiles")
+    # numpy's virtual index for the 'linear' method (alpha = beta = 1).
+    virtual = n * q + (1.0 - q) - 1.0
+    prev = min(max(int(np.floor(virtual)), 0), n - 1)
+    nxt = min(prev + 1, n - 1)
+    gamma = virtual - np.floor(virtual)
+    if virtual < 0:
+        gamma = 0.0
+    cum = np.cumsum(hist)
+    a = float(np.searchsorted(cum, prev, side="right"))
+    b = float(np.searchsorted(cum, nxt, side="right"))
+    # numpy's _lerp switches formula at t >= 0.5 for fp symmetry.
+    if gamma >= 0.5:
+        value = b - (b - a) * (1.0 - gamma)
+    else:
+        value = a + (b - a) * gamma
+    return int(value)
+
+
+def select_parameters_streaming(
+    quality_hist: np.ndarray,
+    tile_og: np.ndarray,
+    k: int | None = None,
+    genome_length_estimate: int | None = None,
+    d: int = 1,
+    overlap: int = 0,
+    quality_fraction: float = 0.175,
+    cr: float = 2.0,
+) -> ReptileParams:
+    """:func:`select_parameters` from streamed sufficient statistics.
+
+    ``quality_hist`` is the summed :func:`quality_histogram` over all
+    chunks; ``tile_og`` is the Og column of the *merged* tile table
+    built at the selection k with ``quality_cutoff`` equal to the Qc
+    this function derives (see :func:`qc_qm_from_quality_histogram`
+    for the first half of the two-stage handshake).  Produces the
+    exact parameters the monolithic path selects.
+    """
+    if k is None:
+        if genome_length_estimate is not None:
+            k = default_k_for_genome(genome_length_estimate)
+        else:
+            k = 12
+    qc, qm = qc_qm_from_quality_histogram(quality_hist, quality_fraction)
+    base = ReptileParams(k=k, d=d, overlap=overlap, qc=qc, qm=qm, cr=cr)
+    tile_og = np.asarray(tile_og, dtype=np.int64)
+    if tile_og.size:
+        cm, cg = count_histogram_thresholds(tile_og)
+        base = replace(base, cg=int(cg), cm=int(cm))
+    return base
+
+
+def qc_qm_from_quality_histogram(
+    quality_hist: np.ndarray, quality_fraction: float = 0.175
+) -> tuple[int, int]:
+    """``(Qc, Qm)`` from a streamed quality histogram — the same
+    quantile rule :func:`select_parameters` applies to the in-memory
+    score matrix (score-less data falls back to 'everything
+    correctable')."""
+    quality_hist = np.asarray(quality_hist, dtype=np.int64)
+    if quality_hist.sum() == 0:
+        return 0, 1_000_000
+    qc = quantile_int_from_histogram(quality_hist, quality_fraction)
+    qm = quantile_int_from_histogram(
+        quality_hist, min(0.5, 2 * quality_fraction)
+    )
+    return qc, max(qm, qc + 1)
+
+
 def count_histogram_thresholds(counts: np.ndarray) -> tuple[int, int]:
     """``(Cm, Cg)`` from the tile multiplicity histogram.
 

@@ -1,7 +1,7 @@
 """Read/write FASTA & FASTQ, Phred codecs, and the columnar ReadSet."""
 
 from .fasta import parse_fasta, write_fasta
-from .fastq import parse_fastq, read_fastq, write_fastq
+from .fastq import parse_fastq, read_fastq, read_fastq_chunks, write_fastq
 from .quality import (
     MAX_PHRED,
     PHRED33,
@@ -20,6 +20,7 @@ __all__ = [
     "write_fasta",
     "parse_fastq",
     "read_fastq",
+    "read_fastq_chunks",
     "write_fastq",
     "PHRED33",
     "PHRED64",

@@ -59,6 +59,12 @@ def parse_fastq(
             try:
                 if not header.startswith("@"):
                     raise ValueError(f"malformed FASTQ header: {header!r}")
+                name_fields = header[1:].split()
+                if not name_fields:
+                    # A bare "@" header: validated here, inside the
+                    # try, so skip mode counts it instead of crashing
+                    # on split()[0] at yield time.
+                    raise ValueError("malformed FASTQ header: empty read name")
                 if not plus.startswith("+"):
                     raise ValueError("malformed FASTQ record: missing '+' line")
                 if len(seq) != len(qual):
@@ -72,7 +78,7 @@ def parse_fastq(
                     return
                 error_counts["skipped_records"] += 1
                 continue
-            yield header[1:].split()[0], seq, scores
+            yield name_fields[0], seq, scores
     finally:
         if close:
             handle.close()
@@ -95,6 +101,41 @@ def read_fastq(
         seqs.append(seq)
         quals.append(q)
     return ReadSet.from_strings(seqs, quals=quals, names=names)
+
+
+def read_fastq_chunks(
+    source: str | Path | io.TextIOBase,
+    chunk_size: int,
+    offset: int = PHRED33,
+    on_error: str = "raise",
+    error_counts: dict | None = None,
+) -> Iterator[ReadSet]:
+    """Stream a FASTQ file as :class:`ReadSet` chunks of at most
+    ``chunk_size`` reads.
+
+    This is the out-of-core entry point (Sec. 2.3's divide-and-merge):
+    at most one chunk of reads is materialized at a time, so spectrum
+    and tile construction — and chunked correction — can run over
+    files larger than memory.  Chunks are padded to their own local
+    maximum read length, which corrections and k-mer extraction are
+    insensitive to.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    names: list[str] = []
+    seqs: list[str] = []
+    quals: list[np.ndarray] = []
+    for name, seq, q in parse_fastq(
+        source, offset, on_error=on_error, error_counts=error_counts
+    ):
+        names.append(name)
+        seqs.append(seq)
+        quals.append(q)
+        if len(seqs) == chunk_size:
+            yield ReadSet.from_strings(seqs, quals=quals, names=names)
+            names, seqs, quals = [], [], []
+    if seqs:
+        yield ReadSet.from_strings(seqs, quals=quals, names=names)
 
 
 def write_fastq(

@@ -61,6 +61,11 @@ class ReadSet:
     ) -> "ReadSet":
         """Build a ReadSet from DNA strings (and optional score arrays)."""
         n = len(seqs)
+        if names is not None and len(names) != n:
+            raise ValueError(
+                f"names must have one entry per read "
+                f"(got {len(names)} names for {n} reads)"
+            )
         lengths = np.array([len(s) for s in seqs], dtype=np.int32)
         lmax = int(lengths.max()) if n else 0
         codes = np.full((n, lmax), PAD, dtype=np.uint8)

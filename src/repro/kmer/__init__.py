@@ -13,7 +13,16 @@ from .neighborhood import (
     neighbors_d1,
     neighbors_d1_batch,
 )
+from .external import (
+    ExternalCodeCounter,
+    external_spectrum_from_chunks,
+    external_tile_table_from_chunks,
+)
 from .streaming import (
+    SpectrumAccumulator,
+    TileAccumulator,
+    balanced_merge,
+    build_from_chunks,
     iter_read_chunks,
     merge_spectra,
     merge_tile_tables,
@@ -57,4 +66,11 @@ __all__ = [
     "spectrum_from_chunks",
     "tile_table_from_chunks",
     "iter_read_chunks",
+    "balanced_merge",
+    "build_from_chunks",
+    "SpectrumAccumulator",
+    "TileAccumulator",
+    "ExternalCodeCounter",
+    "external_spectrum_from_chunks",
+    "external_tile_table_from_chunks",
 ]

@@ -9,20 +9,33 @@ previous chunks.  Reads need not be stored in memory after they have
 been processed.'
 
 Merging two sorted count tables is one ``np.unique`` over their
-concatenation with count aggregation — the structures stay sorted
-arrays throughout, so the corrector built from streamed chunks is
+concatenation with count aggregation, so merges are associative and
+order-independent: any merge tree over the same chunks yields the same
+sorted arrays, and a corrector built from streamed chunks is
 bit-identical to one built monolithically.
+
+The chunk stream is folded with a **balanced merge** (a binary-counter
+stack that only merges same-size partials, as external merge sorts
+do): each k-mer occurrence participates in O(log C) merges for C
+chunks, for O(N log C) total merge work — against the O(N·C) of
+re-merging one ever-growing accumulator with every new chunk.  With a
+``max_memory_bytes`` budget the accumulators switch to the disk-spill
+external counter of :mod:`repro.kmer.external` (KMC/RECKONER-style
+partition-and-merge), so the partial tables themselves no longer need
+to fit in RAM.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 import numpy as np
 
 from ..io.readset import ReadSet
 from .spectrum import KmerSpectrum, read_kmer_codes
 from .tiles import TileTable, tile_table_from_reads
+
+T = TypeVar("T")
 
 
 def merge_spectra(a: KmerSpectrum, b: KmerSpectrum) -> KmerSpectrum:
@@ -50,23 +63,266 @@ def merge_tile_tables(a: TileTable, b: TileTable) -> TileTable:
     return TileTable(k=a.k, overlap=a.overlap, tiles=uniq, oc=oc, og=og)
 
 
-def spectrum_from_chunks(
-    chunks: Iterable[ReadSet], k: int, both_strands: bool = True
-) -> KmerSpectrum:
-    """k-spectrum over a stream of read chunks (constant read memory)."""
-    acc: KmerSpectrum | None = None
-    for chunk in chunks:
-        codes = read_kmer_codes(chunk, k, both_strands=both_strands)
-        kmers, counts = np.unique(codes, return_counts=True)
-        part = KmerSpectrum(k=k, kmers=kmers, counts=counts.astype(np.int64))
-        acc = part if acc is None else merge_spectra(acc, part)
-    if acc is None:
-        return KmerSpectrum(
-            k=k,
-            kmers=np.empty(0, dtype=np.uint64),
-            counts=np.empty(0, dtype=np.int64),
-        )
+def balanced_merge(
+    parts: Iterable[T], merge_two: Callable[[T, T], T]
+) -> T | None:
+    """Fold ``parts`` with ``merge_two`` using a binary-counter stack.
+
+    Slot ``i`` of the stack holds a partial built from ``2^i`` inputs;
+    a new part cascades carries exactly like binary increment, so only
+    same-size partials are ever merged.  Each input participates in
+    O(log C) merges (total work O(N log C) for size-proportional merge
+    cost) instead of the O(N·C) of ``reduce(merge_two, parts)``.
+    Returns ``None`` for an empty iterable.  The result equals any
+    other merge order whenever ``merge_two`` is associative.
+    """
+    stack: list[tuple[int, T]] = []  # (level, partial), levels strictly
+    for part in parts:  # decreasing from bottom to top
+        level, cur = 0, part
+        while stack and stack[-1][0] == level:
+            _, prev = stack.pop()
+            cur = merge_two(prev, cur)
+            level += 1
+        stack.append((level, cur))
+    if not stack:
+        return None
+    acc = stack.pop()[1]
+    while stack:
+        acc = merge_two(stack.pop()[1], acc)
     return acc
+
+
+class _BalancedStack:
+    """Incremental :func:`balanced_merge` with byte-size accounting."""
+
+    def __init__(self, merge_two: Callable, nbytes_of: Callable) -> None:
+        self._merge_two = merge_two
+        self._nbytes_of = nbytes_of
+        self._stack: list[tuple[int, object]] = []
+        self.peak_bytes = 0
+
+    def _note_peak(self) -> None:
+        held = sum(self._nbytes_of(p) for _, p in self._stack)
+        self.peak_bytes = max(self.peak_bytes, held)
+
+    def push(self, part) -> None:
+        level, cur = 0, part
+        while self._stack and self._stack[-1][0] == level:
+            _, prev = self._stack.pop()
+            cur = self._merge_two(prev, cur)
+            level += 1
+        self._stack.append((level, cur))
+        self._note_peak()
+
+    def result(self):
+        if not self._stack:
+            return None
+        acc = self._stack.pop()[1]
+        while self._stack:
+            acc = self._merge_two(self._stack.pop()[1], acc)
+        self._stack = []
+        return acc
+
+
+class SpectrumAccumulator:
+    """Streaming k-spectrum builder: feed read chunks, finalize once.
+
+    In-memory partials are folded with the balanced merge; with a
+    ``max_memory_bytes`` budget the per-chunk tables are routed to a
+    disk-spill :class:`~repro.kmer.external.ExternalCodeCounter`
+    instead, bounding resident table memory.  Either way the result is
+    bitwise identical to :func:`spectrum_from_reads` on the
+    concatenated chunks.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        both_strands: bool = True,
+        max_memory_bytes: int | None = None,
+        tmp_dir=None,
+    ) -> None:
+        from ..seq.encoding import check_k
+
+        check_k(k)
+        self.k = k
+        self.both_strands = both_strands
+        self._counter = None
+        self._stack = None
+        if max_memory_bytes is not None:
+            from .external import ExternalCodeCounter
+
+            self._counter = ExternalCodeCounter(
+                code_bits=2 * k,
+                n_values=1,
+                max_memory_bytes=max_memory_bytes,
+                tmp_dir=tmp_dir,
+            )
+        else:
+            self._stack = _BalancedStack(
+                merge_spectra,
+                lambda s: s.kmers.nbytes + s.counts.nbytes,
+            )
+
+    @property
+    def spill_bytes(self) -> int:
+        return 0 if self._counter is None else self._counter.spill_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        if self._counter is not None:
+            return self._counter.peak_buffer_bytes
+        return self._stack.peak_bytes
+
+    @property
+    def max_add_bytes(self) -> int:
+        """Largest single chunk table fed in (external mode only)."""
+        return 0 if self._counter is None else self._counter.max_add_bytes
+
+    def add_chunk(self, chunk: ReadSet) -> None:
+        codes = read_kmer_codes(chunk, self.k, both_strands=self.both_strands)
+        kmers, counts = np.unique(codes, return_counts=True)
+        if self._counter is not None:
+            self._counter.add(kmers, counts.astype(np.int64))
+        else:
+            self._stack.push(
+                KmerSpectrum(
+                    k=self.k, kmers=kmers, counts=counts.astype(np.int64)
+                )
+            )
+
+    def finalize(self) -> KmerSpectrum:
+        if self._counter is not None:
+            codes, values = self._counter.finalize()
+            return KmerSpectrum(k=self.k, kmers=codes, counts=values[:, 0])
+        acc = self._stack.result()
+        if acc is None:
+            return KmerSpectrum(
+                k=self.k,
+                kmers=np.empty(0, dtype=np.uint64),
+                counts=np.empty(0, dtype=np.int64),
+            )
+        return acc
+
+
+class TileAccumulator:
+    """Streaming tile-table builder (Oc + Og); mirror of
+    :class:`SpectrumAccumulator` for the two-count tile tables."""
+
+    def __init__(
+        self,
+        k: int,
+        overlap: int = 0,
+        quality_cutoff: int = 0,
+        both_strands: bool = True,
+        max_memory_bytes: int | None = None,
+        tmp_dir=None,
+    ) -> None:
+        if not 0 <= overlap < k:
+            raise ValueError("overlap must be in [0, k)")
+        self.k = k
+        self.overlap = overlap
+        self.quality_cutoff = quality_cutoff
+        self.both_strands = both_strands
+        self._counter = None
+        self._stack = None
+        if max_memory_bytes is not None:
+            from .external import ExternalCodeCounter
+
+            self._counter = ExternalCodeCounter(
+                code_bits=2 * (2 * k - overlap),
+                n_values=2,
+                max_memory_bytes=max_memory_bytes,
+                tmp_dir=tmp_dir,
+            )
+        else:
+            self._stack = _BalancedStack(
+                merge_tile_tables,
+                lambda t: t.tiles.nbytes + t.oc.nbytes + t.og.nbytes,
+            )
+
+    @property
+    def spill_bytes(self) -> int:
+        return 0 if self._counter is None else self._counter.spill_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        if self._counter is not None:
+            return self._counter.peak_buffer_bytes
+        return self._stack.peak_bytes
+
+    @property
+    def max_add_bytes(self) -> int:
+        """Largest single chunk table fed in (external mode only)."""
+        return 0 if self._counter is None else self._counter.max_add_bytes
+
+    def add_chunk(self, chunk: ReadSet) -> None:
+        part = tile_table_from_reads(
+            chunk,
+            k=self.k,
+            overlap=self.overlap,
+            quality_cutoff=self.quality_cutoff,
+            both_strands=self.both_strands,
+        )
+        if self._counter is not None:
+            self._counter.add(
+                part.tiles, np.stack([part.oc, part.og], axis=1)
+            )
+        else:
+            self._stack.push(part)
+
+    def finalize(self) -> TileTable:
+        if self._counter is not None:
+            codes, values = self._counter.finalize()
+            return TileTable(
+                k=self.k,
+                overlap=self.overlap,
+                tiles=codes,
+                oc=values[:, 0],
+                og=values[:, 1],
+            )
+        acc = self._stack.result()
+        if acc is None:
+            empty = np.empty(0, dtype=np.uint64)
+            zeros = np.empty(0, dtype=np.int64)
+            return TileTable(
+                k=self.k, overlap=self.overlap,
+                tiles=empty, oc=zeros, og=zeros,
+            )
+        return acc
+
+
+def build_from_chunks(chunks: Iterable[ReadSet], accumulators: Sequence):
+    """Feed one pass over ``chunks`` to several accumulators at once.
+
+    This is how phase 1 builds the spectrum *and* the tile table from
+    a single traversal of a stream that cannot be rewound cheaply —
+    the previous implementation ``itertools.tee``'d the stream, which
+    silently buffered every chunk and defeated out-of-core operation.
+    Returns the list of finalized structures, in accumulator order.
+    """
+    for chunk in chunks:
+        for acc in accumulators:
+            acc.add_chunk(chunk)
+    return [acc.finalize() for acc in accumulators]
+
+
+def spectrum_from_chunks(
+    chunks: Iterable[ReadSet],
+    k: int,
+    both_strands: bool = True,
+    max_memory_bytes: int | None = None,
+    tmp_dir=None,
+) -> KmerSpectrum:
+    """k-spectrum over a stream of read chunks (constant read memory,
+    O(N log C) merge work; disk-spill counting under a memory budget)."""
+    acc = SpectrumAccumulator(
+        k,
+        both_strands=both_strands,
+        max_memory_bytes=max_memory_bytes,
+        tmp_dir=tmp_dir,
+    )
+    return build_from_chunks(chunks, [acc])[0]
 
 
 def tile_table_from_chunks(
@@ -75,28 +331,27 @@ def tile_table_from_chunks(
     overlap: int = 0,
     quality_cutoff: int = 0,
     both_strands: bool = True,
+    max_memory_bytes: int | None = None,
+    tmp_dir=None,
 ) -> TileTable:
     """Tile table over a stream of read chunks."""
-    acc: TileTable | None = None
-    for chunk in chunks:
-        part = tile_table_from_reads(
-            chunk,
-            k=k,
-            overlap=overlap,
-            quality_cutoff=quality_cutoff,
-            both_strands=both_strands,
-        )
-        acc = part if acc is None else merge_tile_tables(acc, part)
-    if acc is None:
-        empty = np.empty(0, dtype=np.uint64)
-        zeros = np.empty(0, dtype=np.int64)
-        return TileTable(k=k, overlap=overlap, tiles=empty, oc=zeros, og=zeros)
-    return acc
+    acc = TileAccumulator(
+        k,
+        overlap=overlap,
+        quality_cutoff=quality_cutoff,
+        both_strands=both_strands,
+        max_memory_bytes=max_memory_bytes,
+        tmp_dir=tmp_dir,
+    )
+    return build_from_chunks(chunks, [acc])[0]
 
 
 def iter_read_chunks(reads: ReadSet, chunk_size: int) -> Iterator[ReadSet]:
     """Split an in-memory ReadSet into chunks (testing convenience; in
-    production the chunks would come straight from a FASTQ stream)."""
+    production the chunks come straight from
+    :func:`repro.io.fastq.read_fastq_chunks`)."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     for start in range(0, reads.n_reads, chunk_size):
         idx = np.arange(start, min(start + chunk_size, reads.n_reads))
         yield reads.subset(idx)

@@ -85,9 +85,15 @@ class TileTable:
     def lookup(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized ``(Oc, Og)`` for an array of tile codes (0 absent)."""
         codes = np.asarray(codes, dtype=np.uint64)
+        if self.tiles.size == 0:
+            # Guard before any indexing: an empty table (e.g. every
+            # read shorter than the tile length) must answer 0, not
+            # IndexError on tiles[idx_c].
+            zeros = np.zeros(codes.shape, dtype=np.int64)
+            return zeros, zeros.copy()
         idx = np.searchsorted(self.tiles, codes)
-        idx_c = np.minimum(idx, max(self.tiles.size - 1, 0))
-        found = (self.tiles.size > 0) & (self.tiles[idx_c] == codes)
+        idx_c = np.minimum(idx, self.tiles.size - 1)
+        found = self.tiles[idx_c] == codes
         oc = np.where(found, self.oc[idx_c], 0)
         og = np.where(found, self.og[idx_c], 0)
         return oc.astype(np.int64), og.astype(np.int64)

@@ -4,12 +4,13 @@ See :mod:`repro.parallel.engine` for the execution model and
 :mod:`repro.parallel.shared` for the shared-memory spectrum backing.
 """
 
-from .engine import ParallelRunReport, correct_in_parallel
+from .engine import ParallelRunReport, correct_in_parallel, correct_stream
 from .shared import HAVE_SHARED_MEMORY, SharedSpectrumHandle
 
 __all__ = [
     "ParallelRunReport",
     "correct_in_parallel",
+    "correct_stream",
     "SharedSpectrumHandle",
     "HAVE_SHARED_MEMORY",
 ]

@@ -178,6 +178,42 @@ def _chunk_bounds(n_reads: int, chunk_size: int) -> list[tuple[int, int]]:
     ]
 
 
+def correct_stream(
+    corrector,
+    blocks,
+    workers: int = 1,
+    chunk_size: int = 2048,
+    policy: RetryPolicy | None = None,
+    counters: Counters | None = None,
+    spectrum_backing: str = "inherit",
+):
+    """Drive the chunk loop over a *stream* of ReadSet blocks.
+
+    The out-of-core front half of :func:`correct_in_parallel`: each
+    block (typically ``workers × chunk_size`` reads straight from
+    :func:`repro.io.fastq.read_fastq_chunks`) runs through the same
+    chunk loop — same counters, same fault model, same bitwise
+    guarantee — then is yielded as ``(block, report)`` so the caller
+    can write corrected output incrementally and drop the block.  Only
+    one block of reads is ever resident.
+    """
+    if counters is None:
+        counters = telemetry.active_counters() or Counters()
+    for block in blocks:
+        report = correct_in_parallel(
+            corrector,
+            block,
+            workers=workers,
+            chunk_size=chunk_size,
+            policy=policy,
+            counters=counters,
+            spectrum_backing=spectrum_backing,
+        )
+        telemetry.count("stream_blocks")
+        telemetry.count("stream_reads", block.n_reads)
+        yield block, report
+
+
 def correct_in_parallel(
     corrector,
     reads: ReadSet,

@@ -26,6 +26,7 @@ from ..mapreduce.reliable import add_reliability_flags, policy_from_args
 
 __all__ = [
     "positive_int",
+    "memory_size",
     "add_parallel_flags",
     "add_telemetry_flags",
     "add_reliability_flags",
@@ -46,6 +47,32 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"expected an integer >= 1, got {value}"
+        )
+    return value
+
+
+def memory_size(text: str) -> int:
+    """argparse type: a byte count with optional K/M/G suffix.
+
+    Accepts ``8388608``, ``8M``, ``64m``, ``2G``, ``512K`` (binary
+    multiples); rejects anything below 4 KiB — smaller budgets cannot
+    hold one merge block per spilled run.
+    """
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    raw = text.strip().lower().removesuffix("b")
+    mult = 1
+    if raw and raw[-1] in units:
+        mult = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 64M or 2G, got {text!r}"
+        ) from None
+    if value < 4096:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be >= 4096 bytes, got {value}"
         )
     return value
 

@@ -25,6 +25,7 @@ from .common import (
     add_parallel_flags,
     add_telemetry_flags,
     deprecation_note,
+    memory_size,
     telemetry_session,
 )
 
@@ -52,6 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="raise",
         help="skip (and count) malformed FASTQ records instead of aborting",
     )
+    g = p.add_argument_group("out-of-core streaming")
+    g.add_argument(
+        "--stream", action="store_true",
+        help="never hold the read set in memory: streamed phase-1 "
+             "passes build the spectrum/tiles, then reads are "
+             "corrected and written chunk by chunk (reptile only; "
+             "output is bitwise identical to the in-memory path)",
+    )
+    g.add_argument(
+        "--max-memory", type=memory_size, default=None, metavar="SIZE",
+        help="k-mer/tile counting memory budget (e.g. 64M, 2G); "
+             "partial tables beyond it spill to sorted disk runs "
+             "(implies --stream)",
+    )
+    g.add_argument(
+        "--tmp-dir", type=Path, default=None,
+        help="directory for spill files (default: system temp)",
+    )
     add_parallel_flags(p)
     add_reliability_flags(p)
     add_telemetry_flags(p)
@@ -65,9 +84,180 @@ def _build_corrector(method: str, reads, k, genome_length):
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.max_memory is not None:
+        args.stream = True
+    if args.stream:
+        if args.method != "reptile":
+            parser.error(
+                f"--stream supports the reptile method only "
+                f"({args.method} has no streaming phase 1)"
+            )
+        if args.truth is not None:
+            parser.error("--stream does not support --truth scoring")
+        if args.checkpoint_dir:
+            parser.error("--stream does not support --checkpoint-dir")
     with telemetry_session(args, tool="correct", argv=argv) as tel:
+        if args.stream:
+            return _run_stream(args, tel)
         return _run(args, tel)
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if the
+    platform exposes no ``resource`` module)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(kb) * 1024
+
+
+def _run_stream(args: argparse.Namespace, tel) -> int:
+    """Out-of-core correction: three streamed passes over the FASTQ.
+
+    Pass A accumulates the quality histogram (parameter selection),
+    pass B builds the spectrum and tile table through the balanced /
+    disk-spill accumulators, pass C corrects chunk by chunk through
+    the parallel engine's chunk loop and writes corrected FASTQ
+    incrementally.  At no point is the read set resident; the output
+    is bitwise identical to the in-memory path.
+    """
+    import numpy as np
+
+    from ..core.reptile import ReptileCorrector
+    from ..core.reptile.params import (
+        add_histograms,
+        quality_histogram,
+        select_parameters_streaming,
+    )
+    from ..io.fastq import read_fastq_chunks, write_fastq
+    from ..kmer.streaming import (
+        SpectrumAccumulator,
+        TileAccumulator,
+        build_from_chunks,
+    )
+    from ..parallel import correct_stream
+
+    block_reads = args.chunk_size * args.workers
+
+    def chunks(error_counts=None):
+        return read_fastq_chunks(
+            args.input,
+            block_reads,
+            on_error=args.on_error,
+            error_counts=error_counts,
+        )
+
+    # Pass A — streamed parameter statistics.
+    qhist = np.zeros(0, dtype=np.int64)
+    n_reads = 0
+    with telemetry.span("stream.scan", path=str(args.input)):
+        for chunk in chunks():
+            qhist = add_histograms(qhist, quality_histogram(chunk))
+            n_reads += chunk.n_reads
+    print(f"streaming {n_reads} reads from {args.input} "
+          f"(blocks of {block_reads})")
+    tel.registry.gauge("reads_input", n_reads)
+
+    # Pass B — phase-1 structures in one traversal.  The selection
+    # tile table is built at the data-driven k; an explicit --k only
+    # overrides the k of the final structures (mirroring the
+    # in-memory select-then-replace semantics exactly).
+    sel_params = select_parameters_streaming(
+        qhist,
+        np.zeros(0, dtype=np.int64),
+        genome_length_estimate=args.genome_length,
+    )
+    k_final = args.k if args.k is not None else sel_params.k
+    with telemetry.span("fit", method=args.method, k=k_final):
+        spec_acc = SpectrumAccumulator(
+            k_final,
+            max_memory_bytes=args.max_memory,
+            tmp_dir=args.tmp_dir,
+        )
+        accs = [spec_acc]
+        sel_tiles_acc = TileAccumulator(
+            sel_params.k,
+            overlap=sel_params.overlap,
+            quality_cutoff=sel_params.qc,
+            max_memory_bytes=args.max_memory,
+            tmp_dir=args.tmp_dir,
+        )
+        accs.append(sel_tiles_acc)
+        final_tiles_acc = sel_tiles_acc
+        if k_final != sel_params.k:
+            final_tiles_acc = TileAccumulator(
+                k_final,
+                overlap=sel_params.overlap,
+                quality_cutoff=sel_params.qc,
+                max_memory_bytes=args.max_memory,
+                tmp_dir=args.tmp_dir,
+            )
+            accs.append(final_tiles_acc)
+        with telemetry.span("stream.phase1"):
+            results = build_from_chunks(chunks(), accs)
+        spectrum = results[0]
+        sel_tiles = results[1]
+        tiles = results[accs.index(final_tiles_acc)]
+        params = select_parameters_streaming(
+            qhist,
+            sel_tiles.og,
+            genome_length_estimate=args.genome_length,
+        )
+        if args.k is not None:
+            from dataclasses import replace
+
+            params = replace(params, k=args.k)
+        corrector = ReptileCorrector(
+            params=params, spectrum=spectrum, tiles=tiles
+        )
+    spill = sum(acc.spill_bytes for acc in accs)
+    tel.registry.gauge("spill_bytes", spill)
+    tel.registry.gauge(
+        "counting_peak_bytes", max(acc.peak_bytes for acc in accs)
+    )
+    print(
+        f"phase 1: {spectrum.n_kmers} k-mers (k={params.k}), "
+        f"{tiles.n_tiles} tiles, spilled {spill} bytes"
+    )
+
+    # Pass C — chunked correction, incrementally written.
+    policy = policy_from_args(args)
+    error_counts: dict = {}
+    n_changed = 0
+    n_out = 0
+    with telemetry.span("correct", method=args.method, stream=True):
+        with open(args.output, "wt") as out_handle:
+            for block, report in correct_stream(
+                corrector,
+                chunks(error_counts),
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+                policy=policy,
+                spectrum_backing=args.spectrum_backing,
+            ):
+                n_changed += int((report.reads.codes != block.codes).sum())
+                n_out += block.n_reads
+                write_fastq(report.reads, out_handle)
+    if args.on_error == "skip":
+        tel.registry.merge(error_counts)
+        skipped = error_counts.get("skipped_records", 0)
+        truncated = error_counts.get("truncated_records", 0)
+        if skipped or truncated:
+            print(
+                f"tolerant parse: skipped {skipped} malformed record(s), "
+                f"{truncated} truncated at EOF"
+            )
+    tel.registry.gauge("bases_changed", n_changed)
+    tel.registry.gauge("peak_rss_bytes", _peak_rss_bytes())
+    print(
+        f"{args.method}: changed {n_changed} bases across {n_out} "
+        f"streamed reads; wrote {args.output}"
+    )
+    return 0
 
 
 def _run(args: argparse.Namespace, tel) -> int:

@@ -191,6 +191,85 @@ def test_parse_fastq_rejects_unknown_on_error():
         list(parse_fastq(io.StringIO("@x\nA\n+\nI\n"), on_error="ignore"))
 
 
+def test_fastq_bare_at_header():
+    """A header that is just '@' (empty read name) must raise in strict
+    mode and be counted — not crash on split()[0] — in skip mode."""
+    content = "@r0\nACGT\n+\nIIII\n@\nACGT\n+\nIIII\n@r1\nTTTT\n+\nIIII\n"
+    with pytest.raises(ValueError, match="empty read name"):
+        list(parse_fastq(io.StringIO(content)))
+    counts: dict = {}
+    records = list(
+        parse_fastq(io.StringIO(content), on_error="skip", error_counts=counts)
+    )
+    assert [name for name, _, _ in records] == ["r0", "r1"]
+    assert counts["skipped_records"] == 1
+
+
+def test_fastq_bare_at_with_whitespace_comment():
+    # "@   " (whitespace-only name) is equally empty after split().
+    content = "@   \nACGT\n+\nIIII\n"
+    counts: dict = {}
+    assert not list(
+        parse_fastq(io.StringIO(content), on_error="skip", error_counts=counts)
+    )
+    assert counts["skipped_records"] == 1
+
+
+# -- chunked streaming reader ------------------------------------------------
+def _chunks_content():
+    return "".join(f"@r{i}\n{'ACGT' * (2 + i % 3)}\n+\n{'I' * 4 * (2 + i % 3)}\n"
+                   for i in range(10))
+
+
+def test_read_fastq_chunks_equals_whole_file():
+    from repro.io import read_fastq_chunks
+
+    whole = read_fastq(io.StringIO(_chunks_content()))
+    for chunk_size in (1, 3, 10, 100):
+        chunks = list(
+            read_fastq_chunks(io.StringIO(_chunks_content()), chunk_size)
+        )
+        assert all(c.n_reads <= chunk_size for c in chunks)
+        assert sum(c.n_reads for c in chunks) == whole.n_reads
+        names = [n for c in chunks for n in c.names]
+        seqs = [s for c in chunks for s in c.sequences()]
+        assert names == whole.names
+        assert seqs == whole.sequences()
+
+
+def test_read_fastq_chunks_rejects_bad_chunk_size():
+    from repro.io import read_fastq_chunks
+
+    for bad in (0, -1):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(read_fastq_chunks(io.StringIO("@r\nAC\n+\nII\n"), bad))
+
+
+def test_read_fastq_chunks_empty_and_tolerant():
+    from repro.io import read_fastq_chunks
+
+    assert not list(read_fastq_chunks(io.StringIO(""), 4))
+    content = "@r0\nACGT\n+\nIIII\n@\nAC\n+\nII\n@r1\nTT\n+\nII\n"
+    counts: dict = {}
+    chunks = list(
+        read_fastq_chunks(
+            io.StringIO(content), 1, on_error="skip", error_counts=counts
+        )
+    )
+    assert [c.names[0] for c in chunks] == ["r0", "r1"]
+    assert counts["skipped_records"] == 1
+
+
+def test_readset_names_length_mismatch():
+    with pytest.raises(ValueError, match="names"):
+        ReadSet.from_strings(["ACGT", "TTTT"], names=["only-one"])
+    with pytest.raises(ValueError, match="names"):
+        ReadSet.from_strings(["ACGT"], names=["a", "b"])
+    # Matching lengths (and omitted names) still construct fine.
+    assert ReadSet.from_strings(["ACGT"], names=["a"]).names == ["a"]
+    assert ReadSet.from_strings(["ACGT"]).names is None
+
+
 def test_fastq_default_quality():
     rs = ReadSet.from_strings(["ACGT"])
     buf = io.StringIO()

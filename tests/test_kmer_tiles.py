@@ -118,6 +118,19 @@ def test_tile_table_lookup_absent():
     assert tt.og_scalar(string_to_kmer("TTTTTTTT")) == 0
 
 
+def test_tile_table_lookup_empty_table():
+    """Regression: lookup on an empty table used to index tiles[idx]
+    with idx == 0 on a zero-length array and raise IndexError."""
+    rs = ReadSet.from_strings(["ACGT"])  # too short to yield any tile
+    tt = tile_table_from_reads(rs, k=4, both_strands=False)
+    assert tt.n_tiles == 0
+    codes = np.array([string_to_kmer("ACGTACGT"), 0], dtype=np.uint64)
+    oc, og = tt.lookup(codes)
+    assert oc.tolist() == [0, 0] and og.tolist() == [0, 0]
+    assert oc is not og  # callers may mutate one without aliasing
+    assert tt.og_scalar(string_to_kmer("ACGTACGT")) == 0
+
+
 def test_tile_table_as_dict():
     rs = ReadSet.from_strings(["ACGTACGTAC"])
     tt = tile_table_from_reads(rs, k=4, both_strands=False)

@@ -72,6 +72,112 @@ def test_streaming_empty():
     assert tt.n_tiles == 0
 
 
+# -- merge algebra ------------------------------------------------------------
+def _spectrum_parts(sim, k=9, chunk=400):
+    return [
+        spectrum_from_reads(c, k) for c in iter_read_chunks(sim.reads, chunk)
+    ]
+
+
+def _tile_parts(sim, k=9, chunk=400):
+    return [
+        tile_table_from_reads(c, k=k, quality_cutoff=15)
+        for c in iter_read_chunks(sim.reads, chunk)
+    ]
+
+
+def _spectra_equal(a, b):
+    return (a.kmers == b.kmers).all() and (a.counts == b.counts).all()
+
+
+def _tables_equal(a, b):
+    return (
+        (a.tiles == b.tiles).all()
+        and (a.oc == b.oc).all()
+        and (a.og == b.og).all()
+    )
+
+
+def test_merge_spectra_associative(sim):
+    a, b, c = _spectrum_parts(sim, chunk=sim.reads.n_reads // 3 + 1)[:3]
+    left = merge_spectra(merge_spectra(a, b), c)
+    right = merge_spectra(a, merge_spectra(b, c))
+    assert _spectra_equal(left, right)
+
+
+def test_merge_tile_tables_associative(sim):
+    a, b, c = _tile_parts(sim, chunk=sim.reads.n_reads // 3 + 1)[:3]
+    left = merge_tile_tables(merge_tile_tables(a, b), c)
+    right = merge_tile_tables(a, merge_tile_tables(b, c))
+    assert _tables_equal(left, right)
+
+
+def test_merge_order_independent(sim):
+    """Any chunk order and any merge tree give identical sorted arrays."""
+    from functools import reduce
+
+    from repro.kmer import balanced_merge
+
+    parts = _spectrum_parts(sim)
+    rng = np.random.default_rng(5)
+    reference = reduce(merge_spectra, parts)
+    for _ in range(4):
+        order = rng.permutation(len(parts))
+        shuffled = [parts[i] for i in order]
+        assert _spectra_equal(reference, reduce(merge_spectra, shuffled))
+        assert _spectra_equal(
+            reference, balanced_merge(shuffled, merge_spectra)
+        )
+    tparts = _tile_parts(sim)
+    treference = reduce(merge_tile_tables, tparts)
+    assert _tables_equal(
+        treference, balanced_merge(tparts[::-1], merge_tile_tables)
+    )
+
+
+def test_balanced_merge_arbitrary_tree_counts():
+    """Balanced fold over scalar addition hits every input exactly once
+    at any input count (the binary-counter carry logic)."""
+    from repro.kmer import balanced_merge
+
+    assert balanced_merge([], lambda a, b: a + b) is None
+    for n in range(1, 40):
+        assert balanced_merge(range(n), lambda a, b: a + b) == sum(range(n))
+
+
+def test_streaming_with_empty_chunks(sim):
+    """Empty chunks anywhere in the stream are harmless."""
+    empty = ReadSet.from_strings([])
+    chunks = list(iter_read_chunks(sim.reads, 700))
+    padded = [empty, chunks[0], empty, *chunks[1:], empty]
+    streamed = spectrum_from_chunks(iter(padded), 9)
+    mono = spectrum_from_reads(sim.reads, 9)
+    assert _spectra_equal(streamed, mono)
+    t_streamed = tile_table_from_chunks(iter(padded), k=9, quality_cutoff=15)
+    t_mono = tile_table_from_reads(sim.reads, k=9, quality_cutoff=15)
+    assert _tables_equal(t_streamed, t_mono)
+
+
+def test_streaming_all_short_reads():
+    """Chunks whose reads are all shorter than k (or the tile length)
+    contribute empty partials, not errors."""
+    short = ReadSet.from_strings(["ACGT", "GGTT", "AC"])
+    spec = spectrum_from_chunks(iter([short, short]), 9)
+    assert spec.n_kmers == 0
+    table = tile_table_from_chunks(iter([short, short]), k=9)
+    assert table.n_tiles == 0
+    # Empty streamed structures answer queries, never raise.
+    assert spec.count(np.array([5], dtype=np.uint64)).tolist() == [0]
+    oc, og = table.lookup(np.array([5], dtype=np.uint64))
+    assert oc.tolist() == [0] and og.tolist() == [0]
+
+
+def test_iter_read_chunks_rejects_bad_chunk_size(sim):
+    for bad in (0, -3):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(iter_read_chunks(sim.reads, bad))
+
+
 def test_fit_streaming_matches_monolithic(sim):
     """Divide-and-merge yields the identical corrector (Sec. 2.3)."""
     params = ReptileParams(k=9, qc=15, qm=25, cg=15, cm=3)
