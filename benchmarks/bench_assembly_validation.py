@@ -8,7 +8,6 @@ should shrink the k-mer graph, raise N50, and cut spurious contig
 k-mers.
 """
 
-import numpy as np
 from conftest import print_rows
 
 from repro.assembly import (

@@ -6,7 +6,6 @@ and a small two-copy bump at twice that; the mixture threshold falls
 in the valley between the spike and the single-copy peak.
 """
 
-import numpy as np
 from conftest import print_rows
 
 from repro.experiments.chapter3 import run_fig_3_3

@@ -34,7 +34,6 @@ from repro.kmer import (
     SpectrumAccumulator,
     iter_read_chunks,
     merge_spectra,
-    spectrum_from_chunks,
     spectrum_from_reads,
 )
 from repro.simulate.errors import illumina_like_model

@@ -6,7 +6,6 @@ far less memory; Reptile d=2 trades extra time for higher sensitivity
 than d=1.
 """
 
-import numpy as np
 from conftest import print_rows
 
 from repro.experiments.chapter2 import run_table_2_3

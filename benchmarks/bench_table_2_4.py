@@ -7,7 +7,6 @@ to the N-free runs; the choice of default barely moves the numbers.
 
 from conftest import print_rows
 
-from repro.experiments import chapter2_datasets
 from repro.experiments.chapter2 import run_table_2_4
 
 MAX_READS = 2500

@@ -9,7 +9,6 @@ datasets differ visibly, which is what makes wIED 'wrong'.
 import numpy as np
 from conftest import print_rows
 
-from repro.experiments import chapter3_datasets
 from repro.experiments.chapter3 import run_table_3_2
 
 

@@ -13,7 +13,6 @@ Run:  python examples/mapreduce_wordcount.py
 import numpy as np
 
 from repro.mapreduce import Counters, MapReduceTask, Pipeline, run_task
-from repro.seq import kmer_to_string
 from repro.simulate import UniformErrorModel, random_genome, simulate_reads
 
 K = 8

@@ -33,6 +33,10 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "repro.telemetry.validate",
         "validate run-report JSON against the schema",
     ),
+    "lint": (
+        "repro.analysis.cli",
+        "static analysis: determinism / resources / fork safety",
+    ),
 }
 
 

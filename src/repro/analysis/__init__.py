@@ -1,0 +1,51 @@
+"""``repro lint`` — project-specific static analysis.
+
+The reproduction's core claims (byte-identical output across the
+serial, parallel, and streamed paths) rest on properties no generic
+linter checks: determinism of algorithm code, guaranteed cleanup of
+spill files and shared-memory segments, fork-safety of worker
+functions, exception hygiene in the fault-tolerant engines, and the
+telemetry/report contract.  This package encodes those properties as
+machine-checked AST rules:
+
+- :mod:`~repro.analysis.core` — :class:`Finding`, the :class:`Rule`
+  base class, and the rule registry;
+- :mod:`~repro.analysis.engine` — file walking, parsing,
+  ``# repro: noqa[RULE]`` suppression, and baseline filtering;
+- :mod:`~repro.analysis.baseline` — the committed grandfather file
+  (shipped empty: every pre-existing finding is fixed or justified);
+- :mod:`~repro.analysis.rules` — the built-in rule packs
+  (determinism REP1xx, resource hygiene REP2xx, fork safety REP3xx,
+  exception hygiene REP4xx, telemetry contract REP5xx);
+- :mod:`~repro.analysis.cli` — ``python -m repro lint``.
+
+Like :mod:`repro.telemetry`, this package imports nothing from the
+rest of repro at module load (the telemetry-contract rule reads the
+report schema lazily), so it can lint a broken tree.
+"""
+
+from .baseline import Baseline
+from .core import Finding, Rule, all_rules, get_rule, register_rule
+from .engine import LintResult, lint_paths, lint_source
+from .cli import (
+    LINT_JSON_SCHEMA,
+    LINT_SCHEMA_VERSION,
+    main,
+    validate_lint_report_dict,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "Baseline",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "LINT_SCHEMA_VERSION",
+    "LINT_JSON_SCHEMA",
+    "validate_lint_report_dict",
+    "main",
+]

@@ -1,0 +1,84 @@
+"""Baseline (grandfather) file support for ``repro lint``.
+
+A baseline records the fingerprints of known findings so a rule can be
+introduced strictly (new violations fail CI) without blocking on a
+backlog.  This repo's committed ``lint-baseline.json`` is **empty** —
+every pre-existing finding was fixed or suppressed inline with a
+justification — but the mechanism stays so future rule packs can land
+incrementally.
+
+Format (JSON, stable ordering for reviewable diffs)::
+
+    {
+      "schema": "repro-lint-baseline/1",
+      "findings": [
+        {"rule": "REP201", "path": "src/...", "message": "...",
+         "fingerprint": "abc123..."},
+        ...
+      ]
+    }
+
+Matching is by :meth:`Finding.fingerprint` — rule + path + message,
+deliberately line-insensitive so unrelated edits don't evict entries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core import Finding
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+#: Default committed baseline location, relative to the repo root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """An accepted set of grandfathered finding fingerprints."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    entries: list[dict[str, object]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: baseline schema must be {BASELINE_SCHEMA!r}, "
+                f"got {data.get('schema')!r}"
+            )
+        entries = list(data.get("findings", []))
+        prints = {str(e["fingerprint"]) for e in entries if "fingerprint" in e}
+        return cls(fingerprints=prints, entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: list[dict[str, object]] = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "fingerprint": f.fingerprint(),
+            }
+            for f in sorted(findings)
+        ]
+        return cls(
+            fingerprints={str(e["fingerprint"]) for e in entries},
+            entries=entries,
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        doc = {"schema": BASELINE_SCHEMA, "findings": self.entries}
+        path.write_text(json.dumps(doc, indent=1, sort_keys=False) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)

@@ -1,0 +1,230 @@
+"""Rule model and registry for the ``repro lint`` engine.
+
+A rule is a small object with an identity (``REP###``), a rationale,
+and a ``check`` method that walks one parsed module and yields
+:class:`Finding`\\ s.  Rules register themselves into a module-level
+registry via the :func:`register_rule` class decorator, so a rule pack
+is just a module whose import populates the registry — the plugin API
+third-party packs use too.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Type
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used for baseline matching.
+
+        Deliberately excludes the line/column so a finding does not
+        escape the baseline (or get double-counted) when unrelated
+        edits shift it around the file.
+        """
+        blob = f"{self.rule}::{self.path}::{self.message}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may want to know about the file under check."""
+
+    #: Path as reported in findings (repo-relative when possible).
+    path: str
+    #: Raw source text.
+    source: str
+    #: ``source.splitlines()`` (1-indexed access via ``line(n)``).
+    lines: list[str] = field(default_factory=list)
+    #: Dotted package hint derived from the path, e.g.
+    #: ``repro.mapreduce.reliable`` (empty for files outside ``src/``).
+    module: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+        if not self.module:
+            self.module = module_name_for_path(self.path)
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_package(self, *packages: str) -> bool:
+        """True if the file lives under any ``repro.<package>``."""
+        for pkg in packages:
+            prefix = f"repro.{pkg}"
+            if self.module == prefix or self.module.startswith(prefix + "."):
+                return True
+        return False
+
+
+def module_name_for_path(path: str) -> str:
+    """Best-effort dotted module name for a file path.
+
+    ``src/repro/mapreduce/types.py`` -> ``repro.mapreduce.types``;
+    paths without a ``repro`` component map to "".
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" not in parts:
+        return ""
+    idx = parts.index("repro")
+    mod = [p for p in parts[idx:] if p]
+    if mod and mod[-1] == "__init__":
+        mod = mod[:-1]
+    return ".".join(mod)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` is surfaced by ``repro lint --list-rules`` and the
+    docs generator — one sentence on *why* the property matters to
+    this codebase, not just what the rule matches.
+    """
+
+    #: Stable identifier, ``REP###`` (hundreds digit = pack).
+    id: str = ""
+    #: Short kebab-case name, e.g. ``global-random``.
+    name: str = ""
+    #: Why violating this breaks the reproduction's contracts.
+    rationale: str = ""
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define 'id' and 'name'")
+    if cls.id in _REGISTRY and type(_REGISTRY[cls.id]) is not cls:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in id order (built-ins load on demand)."""
+    _load_builtin_packs()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_builtin_packs()
+    return _REGISTRY[rule_id]
+
+
+def _load_builtin_packs() -> None:
+    # Imported lazily so `import repro.analysis.core` alone cannot
+    # recurse through the rule packs at interpreter start.
+    from . import rules as _rules  # noqa: F401
+
+    _rules.load()
+
+
+# -- shared AST helpers (used by several rule packs) --------------------------
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; "" for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def enclosing_function_stack(
+    tree: ast.Module,
+) -> dict[ast.AST, list[ast.AST]]:
+    """Map every node to its stack of enclosing def/class scopes."""
+    stacks: dict[ast.AST, list[ast.AST]] = {}
+
+    def visit(node: ast.AST, stack: list[ast.AST]) -> None:
+        stacks[node] = stack
+        is_scope = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        child_stack = stack + [node] if is_scope else stack
+        for child in ast.iter_child_nodes(node):
+            visit(child, child_stack)
+
+    visit(tree, [])
+    return stacks
+
+
+def walk_with_parents(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Depth-first walk yielding ``(node, ancestors)`` pairs."""
+
+    def visit(node: ast.AST, parents: list[ast.AST]) -> Iterator[
+        tuple[ast.AST, list[ast.AST]]
+    ]:
+        yield node, parents
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, parents + [node])
+
+    yield from visit(tree, [])
+
+
+def is_module_scope(parents: list[ast.AST]) -> bool:
+    """True when no enclosing def/class exists (import-time code)."""
+    return not any(
+        isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        for p in parents
+    )
+
+
+def node_contains(node: ast.AST, predicate: Callable[[ast.AST], bool]) -> bool:
+    return any(predicate(n) for n in ast.walk(node))

@@ -1,0 +1,167 @@
+"""File walking, parsing, suppression, and baseline filtering.
+
+The engine turns paths into :class:`LintResult`\\ s: every ``*.py``
+file is parsed once, every registered rule walks the tree, and the
+raw findings are filtered through two escape hatches —
+
+- **inline suppressions**: a ``# repro: noqa[REP101]`` comment on the
+  flagged line (comma-separated ids; a justification after ``--`` is
+  encouraged and what this repo's own suppressions all carry);
+- **the baseline**: grandfathered fingerprints from
+  :class:`~repro.analysis.baseline.Baseline`.
+
+Suppression deliberately requires explicit rule ids — there is no
+bare ``noqa``-silences-everything form, so a suppression can never
+hide a finding its author did not see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline
+from .core import FileContext, Finding, Rule, all_rules
+
+#: ``# repro: noqa[REP101,REP202] -- why this is fine``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\["
+    r"(?P<ids>\s*[A-Z]+[0-9]{3}(?:\s*,\s*[A-Z]+[0-9]{3})*\s*)"
+    r"\](?:\s*--\s*(?P<why>.*))?"
+)
+
+#: Directories never descended into during path walking.
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".mypy_cache", ".ruff_cache", ".pytest_cache",
+    "build", "dist", ".eggs",
+}
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    #: Findings that survived suppression + baseline filtering.
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# repro: noqa[...]``.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Findings matched by the baseline file.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Files that could not be parsed (path -> error).
+    errors: dict[str, str] = field(default_factory=dict)
+    #: Number of files checked.
+    n_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m:
+            ids = {s.strip() for s in m.group("ids").split(",") if s.strip()}
+            if ids:
+                out[i] = ids
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint one source string (suppressions applied, no baseline)."""
+    result = LintResult(n_files=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as e:
+        result.errors[path] = f"syntax error: {e.msg} (line {e.lineno})"
+        return result
+    ctx = FileContext(path=path, source=source)
+    suppressions = parse_suppressions(source)
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(tree, ctx):
+            if finding.rule in suppressions.get(finding.line, set()):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                f
+                for f in p.rglob("*.py")
+                if not (set(f.parts) & _SKIP_DIRS)
+            )
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for f in candidates:
+            key = f.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    ``root`` (default: the current directory) anchors the repo-relative
+    paths reported in findings, keeping fingerprints stable no matter
+    where the linter is invoked from.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    active_rules = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        display = _display_path(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            result.errors[display] = str(e)
+            continue
+        file_result = lint_source(source, path=display, rules=active_rules)
+        result.n_files += 1
+        result.errors.update(file_result.errors)
+        result.suppressed.extend(file_result.suppressed)
+        for finding in file_result.findings:
+            if baseline is not None and baseline.contains(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    result.baselined.sort()
+    return result

@@ -1,0 +1,26 @@
+"""Built-in rule packs; importing this package registers nothing by
+itself — call :func:`load` (the registry does, lazily)."""
+
+from __future__ import annotations
+
+import importlib
+
+_PACKS = (
+    "determinism",
+    "resources",
+    "forksafety",
+    "exceptions",
+    "telemetry_contract",
+)
+
+_loaded = False
+
+
+def load() -> None:
+    """Import every built-in pack exactly once (idempotent)."""
+    global _loaded  # repro: noqa[REP301] -- import-once latch, set before any pool exists
+    if _loaded:
+        return
+    _loaded = True
+    for pack in _PACKS:
+        importlib.import_module(f".{pack}", __name__)

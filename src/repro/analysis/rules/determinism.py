@@ -1,0 +1,168 @@
+"""Determinism rules (REP1xx).
+
+The reproduction's headline guarantee is byte-identical output across
+the serial, parallel, and streamed paths (PR 2's golden corpus, PR 4's
+``cmp`` gate).  Anything that injects ambient nondeterminism into
+algorithm code — global RNG state, wall-clock reads, hash-order
+iteration — can silently break that guarantee under a different
+``PYTHONHASHSEED``, worker count, or machine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+    walk_with_parents,
+)
+
+#: ``random.<fn>`` calls that touch the module-global Mersenne Twister.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "getrandbits", "uniform", "choice",
+    "choices", "sample", "shuffle", "seed", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "randbytes",
+}
+
+#: ``numpy.random`` attributes that are fine: explicit, seedable objects.
+_NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                    "PCG64", "Philox", "MT19937", "SFC64"}
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    id = "REP101"
+    name = "global-random"
+    rationale = (
+        "the stdlib module-global RNG is shared, unseeded process state; "
+        "corrections that consult it differ between runs and between the "
+        "serial and parallel paths — use an explicitly seeded "
+        "random.Random instance instead"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name.startswith("random.") and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"call to module-global RNG `{name}()`; inject an "
+                    "explicitly seeded random.Random instead",
+                )
+
+
+@register_rule
+class NumpyGlobalRandomRule(Rule):
+    id = "REP102"
+    name = "numpy-global-random"
+    rationale = (
+        "numpy's legacy global RNG (np.random.rand, np.random.seed, "
+        "RandomState()) is hidden process state; every simulator and "
+        "sampler must take a seeded np.random.Generator"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            for prefix in ("np.random.", "numpy.random."):
+                if name.startswith(prefix):
+                    attr = name[len(prefix):]
+                    if attr not in _NUMPY_RANDOM_OK:
+                        yield self.finding(
+                            ctx, node,
+                            f"legacy numpy global-RNG call `{name}()`; pass "
+                            "a seeded np.random.Generator "
+                            "(np.random.default_rng(seed))",
+                        )
+                    break
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "REP103"
+    name = "wallclock-in-algorithm"
+    rationale = (
+        "time.time() in algorithm code leaks the wall clock into outputs "
+        "or control flow; timing belongs to the telemetry layer (spans, "
+        "timings), which is excluded from golden comparisons"
+    )
+
+    #: Packages whose whole job is measuring time.
+    _EXEMPT = ("telemetry",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package(*self._EXEMPT):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) == "time.time":
+                yield self.finding(
+                    ctx, node,
+                    "time.time() outside telemetry/; route timing through "
+                    "repro.telemetry spans/timings or justify with a noqa",
+                )
+
+
+def _is_unsorted_set_expr(node: ast.AST) -> bool:
+    """A set display/comprehension or a set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+#: Wrappers that materialize iteration order into an ordered value.
+_ORDERING_SINKS = {"list", "tuple", "enumerate"}
+
+
+@register_rule
+class SetIterationOrderRule(Rule):
+    id = "REP104"
+    name = "set-iteration-order"
+    rationale = (
+        "set iteration order depends on PYTHONHASHSEED for str/bytes "
+        "elements; iterating a set into anything ordered (loop bodies "
+        "that emit, list()/tuple()/enumerate()) makes output "
+        "hash-seed-dependent — wrap in sorted() first"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node, _parents in walk_with_parents(tree):
+            iters: Iterable[ast.AST] = ()
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = (node.iter,)
+            elif isinstance(node, (ast.ListComp, ast.DictComp)):
+                # SetComp/GeneratorExp are excluded: a set result is
+                # itself unordered, and a bare generator's order only
+                # matters at an ordered sink, where it is flagged.
+                iters = tuple(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _ORDERING_SINKS and node.args:
+                    iters = (node.args[0],)
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    iters = (node.args[0],)
+            for it in iters:
+                if _is_unsorted_set_expr(it):
+                    yield self.finding(
+                        ctx, it,
+                        "iteration over a set feeds an ordered result; "
+                        "wrap the set in sorted() to pin the order",
+                    )

@@ -1,0 +1,109 @@
+"""Exception-hygiene rules (REP4xx).
+
+The fault-tolerant engines deliberately catch worker failures to
+retry, bisect, and degrade — but a broad handler that neither
+re-raises nor records what it swallowed turns a real fault into
+silent data loss (a chunk passed through uncorrected, a spill never
+counted).  Two properties are enforced:
+
+- a handler for ``Exception`` may swallow only if it *accounts* for
+  the fault (a counter/telemetry call, or the skip-accounting
+  helpers), otherwise it must re-raise;
+- ``except:`` and ``except BaseException:`` are only acceptable when
+  the body unconditionally re-raises — anything else can eat
+  ``KeyboardInterrupt``/``SystemExit`` and strand worker pools.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, dotted_name, register_rule
+
+#: Callables whose invocation counts as "the fault was accounted for".
+_ACCOUNTING_TAILS = {
+    "incr", "count", "merge", "merge_counters", "tick", "warning", "error",
+    "exception", "_account_skip", "account_skip", "record_fault",
+}
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    t = handler.type
+    if t is None:
+        return ["<bare>"]
+    elems = t.elts if isinstance(t, ast.Tuple) else [t]
+    return [dotted_name(e) or "<expr>" for e in elems]
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _body_accounts(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name.rsplit(".", 1)[-1] in _ACCOUNTING_TAILS:
+                return True
+    return False
+
+
+@register_rule
+class SwallowedBroadExceptRule(Rule):
+    id = "REP401"
+    name = "swallowed-broad-except"
+    rationale = (
+        "an `except Exception` that neither re-raises nor records a "
+        "counter makes worker faults invisible — the retry/skip "
+        "machinery only stays honest if every swallowed fault is "
+        "accounted in the run's counters"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_type_names(node)
+            if "Exception" not in names:
+                continue
+            if _body_reraises(node) or _body_accounts(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "broad `except Exception` swallows the fault without "
+                "re-raising or recording a counter",
+            )
+
+
+@register_rule
+class BareExceptRule(Rule):
+    id = "REP402"
+    name = "bare-or-baseexception-except"
+    rationale = (
+        "`except:` / `except BaseException:` intercept KeyboardInterrupt "
+        "and SystemExit; unless the body unconditionally re-raises, a "
+        "Ctrl-C during a pooled run leaves orphaned workers and partial "
+        "spill files"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_type_names(node)
+            broad = [n for n in names if n in ("<bare>", "BaseException")]
+            if not broad:
+                continue
+            if _body_reraises(node):
+                continue
+            label = "bare except" if "<bare>" in broad else "except BaseException"
+            yield self.finding(
+                ctx, node,
+                f"{label} without re-raise can swallow "
+                "KeyboardInterrupt/SystemExit; catch Exception (and "
+                "account for it) or re-raise",
+            )

@@ -1,0 +1,103 @@
+"""Fork/concurrency-safety rules (REP3xx).
+
+Both engines fork worker pools that inherit the parent's module
+globals copy-on-write.  Two hazards recur in that architecture:
+mutating module-level state inside functions (divergent parent/child
+views, racy under spawn), and handing the pool callables that cannot
+be pickled (lambdas, locals) — which fails only at runtime, on the
+platform that needed spawn.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, dotted_name, register_rule
+
+#: Pool/process entry points whose callable arguments must be picklable.
+_POOL_CALL_NAMES = {
+    "submit", "map", "imap", "imap_unordered", "map_async", "starmap",
+    "starmap_async", "apply", "apply_async",
+}
+_POOL_CONSTRUCTORS = {"Process", "Pool", "ProcessPoolExecutor"}
+_CALLABLE_KWARGS = {"target", "initializer", "func"}
+
+
+@register_rule
+class GlobalMutationRule(Rule):
+    id = "REP301"
+    name = "global-mutation-in-function"
+    rationale = (
+        "a function that rebinds module-level state (`global X; X = ...`) "
+        "sees different effects in forked children vs the parent and is "
+        "racy under spawn; pass state explicitly, or justify the "
+        "install-before-fork pattern with a noqa"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: dict[str, ast.Global] = {}
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Global):
+                    for name in stmt.names:
+                        declared.setdefault(name, stmt)
+            if not declared:
+                continue
+            mutated: set[str] = set()
+            for stmt in ast.walk(node):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [stmt.target]
+                elif isinstance(stmt, ast.Delete):
+                    targets = list(stmt.targets)
+                for t in targets:
+                    if isinstance(t, ast.Name) and t.id in declared:
+                        mutated.add(t.id)
+            for name in sorted(mutated):
+                yield self.finding(
+                    ctx, declared[name],
+                    f"function {node.name!r} mutates module-level "
+                    f"{name!r} via `global`",
+                )
+
+
+@register_rule
+class UnpicklableCallableRule(Rule):
+    id = "REP302"
+    name = "unpicklable-callable-to-pool"
+    rationale = (
+        "lambdas cannot be pickled; a lambda handed to a process pool "
+        "works under fork inheritance and crashes under spawn — use a "
+        "module-level function or functools.partial of one"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            tail = name.rsplit(".", 1)[-1]
+            is_pool_method = (
+                isinstance(node.func, ast.Attribute) and tail in _POOL_CALL_NAMES
+            )
+            is_constructor = tail in _POOL_CONSTRUCTORS
+            if not (is_pool_method or is_constructor):
+                continue
+            suspects: list[ast.expr] = []
+            if is_pool_method and node.args:
+                suspects.append(node.args[0])
+            for kw in node.keywords:
+                if kw.arg in _CALLABLE_KWARGS:
+                    suspects.append(kw.value)
+            for s in suspects:
+                if isinstance(s, ast.Lambda):
+                    yield self.finding(
+                        ctx, s,
+                        f"lambda passed to `{name}()` is unpicklable "
+                        "under spawn; use a module-level function",
+                    )

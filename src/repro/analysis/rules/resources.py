@@ -1,0 +1,184 @@
+"""Resource-hygiene rules (REP2xx).
+
+The out-of-core layers (PR 1's shuffle spills, PR 4's KMC-style
+external counter) and the shared-memory spectrum backing create
+resources the OS will not reclaim on garbage collection: spill files,
+temp directories, POSIX shared-memory segments.  RECKONER-class
+correctors survive at scale because every such resource has an owner
+with a guaranteed release path; these rules make that structural.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+    walk_with_parents,
+)
+
+
+def _with_context_exprs(parents: list[ast.AST], node: ast.AST) -> bool:
+    """Is ``node`` inside the context expression of an enclosing with-item?
+
+    Covers the direct form (``with open(...) as f``) and wrapped forms
+    (``with closing(open(...))``); body statements of the With are its
+    children too but never inside ``item.context_expr``, so an
+    unmanaged call in the body still fires.
+    """
+    for p in parents:
+        if isinstance(p, (ast.With, ast.AsyncWith)):
+            for item in p.items:
+                if any(n is node for n in ast.walk(item.context_expr)):
+                    return True
+    return False
+
+
+def _inside_try_finally(parents: list[ast.AST]) -> bool:
+    return any(isinstance(p, ast.Try) and p.finalbody for p in parents)
+
+
+def _enclosing_function(parents: list[ast.AST]) -> ast.AST | None:
+    for p in reversed(parents):
+        if isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return p
+    return None
+
+
+def _enclosing_class(parents: list[ast.AST]) -> ast.ClassDef | None:
+    for p in reversed(parents):
+        if isinstance(p, ast.ClassDef):
+            return p
+    return None
+
+
+def _calls_method_in_finally(func: ast.AST, method_names: set[str]) -> bool:
+    """Does any try/finally inside ``func`` call one of ``method_names``?"""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            for fin in node.finalbody:
+                for call in ast.walk(fin):
+                    if isinstance(call, ast.Call):
+                        name = dotted_name(call.func)
+                        if name.rsplit(".", 1)[-1] in method_names:
+                            return True
+    return False
+
+
+def _class_defines(cls: ast.ClassDef, names: set[str]) -> bool:
+    defined = {
+        n.name
+        for n in cls.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return names <= defined
+
+
+@register_rule
+class OpenWithoutWithRule(Rule):
+    id = "REP201"
+    name = "open-without-with"
+    rationale = (
+        "a file handle without a guaranteed close leaks descriptors in "
+        "the long-lived worker pools and can hold spill files open past "
+        "their delete; open() must be a `with` context or be closed in a "
+        "finally within the same function"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node, parents in walk_with_parents(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in ("open", "os.fdopen", "gzip.open"):
+                continue
+            if _with_context_exprs(parents, node):
+                continue
+            func = _enclosing_function(parents)
+            if func is not None and _calls_method_in_finally(func, {"close"}):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"`{dotted_name(node.func)}()` outside a `with` and with no "
+                "close() in a finally in the enclosing function",
+            )
+
+
+#: tempfile factories that hand back an unmanaged path/fd.
+_TEMP_FACTORIES = {"tempfile.mkstemp", "tempfile.mkdtemp"}
+#: cleanup callables that count as a release path for REP202.
+_TEMP_CLEANUPS = {"remove", "unlink", "rmtree", "cleanup", "delete", "rmdir"}
+
+
+@register_rule
+class TempWithoutCleanupRule(Rule):
+    id = "REP202"
+    name = "temp-without-cleanup"
+    rationale = (
+        "mkstemp/mkdtemp files survive the process; spill machinery must "
+        "release them in a finally, a context manager, or a dedicated "
+        "owner object, or disk fills under repeated runs"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node, parents in walk_with_parents(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in _TEMP_FACTORIES:
+                continue
+            if _with_context_exprs(parents, node) or _inside_try_finally(parents):
+                continue
+            func = _enclosing_function(parents)
+            if func is not None and _calls_method_in_finally(func, _TEMP_CLEANUPS):
+                continue
+            cls = _enclosing_class(parents)
+            if cls is not None and _class_defines(cls, {"close"}):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"`{dotted_name(node.func)}()` with no visible release "
+                "path (finally/with/owner with close())",
+            )
+
+
+@register_rule
+class SharedMemoryCleanupRule(Rule):
+    id = "REP203"
+    name = "shared-memory-without-cleanup"
+    rationale = (
+        "a SharedMemory segment created without a guaranteed "
+        "close()+unlink() persists in /dev/shm after the process dies; "
+        "creation must sit inside try/finally, a with, or a class that "
+        "defines close() and __exit__"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node, parents in walk_with_parents(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name.rsplit(".", 1)[-1] != "SharedMemory":
+                continue
+            creates = any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if not creates:
+                continue
+            if _with_context_exprs(parents, node) or _inside_try_finally(parents):
+                continue
+            cls = _enclosing_class(parents)
+            if cls is not None and _class_defines(cls, {"close", "__exit__"}):
+                continue
+            yield self.finding(
+                ctx, node,
+                "SharedMemory(create=True) with no guaranteed "
+                "close()/unlink() (try/finally, with, or owning class "
+                "with close + __exit__)",
+            )

@@ -1,0 +1,137 @@
+"""Telemetry-contract rules (REP5xx).
+
+The telemetry layer's two load-bearing promises: ambient metric
+helpers are no-ops *inside an active session's dynamic extent* (so
+library code may call them freely from functions), and every run
+report conforms to ``repro-run-report/1``.  These rules catch the two
+ways code quietly steps outside that contract: touching metrics at
+import time (before any session can exist, so the measurement is
+unconditionally lost — or worse, lands in an unrelated session), and
+addressing run-report documents by keys the schema does not define.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from typing import Iterator
+
+from ..core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    is_module_scope,
+    register_rule,
+    walk_with_parents,
+)
+
+#: Ambient mutation helpers exposed by :mod:`repro.telemetry`.
+_AMBIENT_HELPERS = {"count", "gauge", "timing", "tick", "merge_counters"}
+
+#: Session accessors whose result is Optional and must be None-guarded.
+_OPTIONAL_ACCESSORS = {"current", "active_counters"}
+
+
+@lru_cache(maxsize=1)
+def _report_keys() -> frozenset[str]:
+    """Top-level keys of the repro-run-report/1 schema (lazy import)."""
+    try:
+        from ...telemetry.report import JSON_SCHEMA
+    except ImportError:  # pragma: no cover - linting outside the package
+        return frozenset()
+    return frozenset(JSON_SCHEMA.get("properties", {}))
+
+
+def _is_telemetry_helper(name: str, helpers: set[str]) -> bool:
+    if not name:
+        return False
+    head, _, tail = name.rpartition(".")
+    return tail in helpers and head.rsplit(".", 1)[-1] in ("telemetry", "")
+
+
+@register_rule
+class MetricsOutsideSessionRule(Rule):
+    id = "REP501"
+    name = "metrics-outside-session"
+    rationale = (
+        "telemetry.count/gauge/timing/tick at module scope run at import "
+        "time, before any session exists — the measurement is dropped, "
+        "or attributed to whichever session happens to be importing; "
+        "metrics belong inside functions that run under a session"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package("telemetry"):
+            return
+        for node, parents in walk_with_parents(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if _is_telemetry_helper(name, _AMBIENT_HELPERS):
+                if is_module_scope(parents):
+                    yield self.finding(
+                        ctx, node,
+                        f"ambient metric call `{name}()` at module scope "
+                        "executes at import time, outside any session",
+                    )
+            # telemetry.current().count(...) — dereferences an Optional
+            # accessor without a None guard.
+            if isinstance(node.func, ast.Attribute) and isinstance(
+                node.func.value, ast.Call
+            ):
+                inner = dotted_name(node.func.value.func)
+                if _is_telemetry_helper(inner, _OPTIONAL_ACCESSORS):
+                    yield self.finding(
+                        ctx, node,
+                        f"`{inner}()` returns None without an active "
+                        "session; guard it before calling "
+                        f"`.{node.func.attr}()`",
+                    )
+
+
+@register_rule
+class UnknownReportKeyRule(Rule):
+    id = "REP502"
+    name = "unknown-report-key"
+    rationale = (
+        "a run-report key the repro-run-report/1 schema does not define "
+        "is either a typo (reads as missing data downstream) or silent "
+        "schema drift; new keys go through the schema first"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        allowed = _report_keys()
+        if not allowed:  # pragma: no cover - schema unavailable
+            return
+        for node in ast.walk(tree):
+            key: ast.expr | None = None
+            target: ast.expr | None = None
+            if isinstance(node, ast.Subscript):
+                key = node.slice
+                target = node.value
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and node.args
+            ):
+                key = node.args[0]
+                target = node.func.value
+            if key is None or target is None:
+                continue
+            base = dotted_name(target)
+            tail = base.rsplit(".", 1)[-1] if base else ""
+            if tail not in ("report", "run_report", "report_dict"):
+                continue
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value not in allowed
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"key {key.value!r} is not in the repro-run-report/1 "
+                    "schema (known top-level keys only; extend the schema "
+                    "to add one)",
+                )

@@ -17,7 +17,6 @@ import numpy as np
 from ...eval.clustering import clustering_ari
 from ...io.readset import ReadSet
 from .driver import ClosetClusterer, ClosetParams
-from .sketch import SketchParams
 
 
 @dataclass(frozen=True)

@@ -92,7 +92,7 @@ def _spill_partitions(
     os.makedirs(spill_dir, exist_ok=True)
     spilled: list[SpilledPartition] = []
     for i, part in enumerate(partitions):
-        fd, path = tempfile.mkstemp(prefix=f"part{i}-", dir=spill_dir)
+        fd, path = tempfile.mkstemp(prefix=f"part{i}-", dir=spill_dir)  # repro: noqa[REP202] -- spill outlives this function by design; SpilledPartition.delete() releases it per-reduce (reliable.py on_item_done)
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
         spilled.append(SpilledPartition(path, len(part)))

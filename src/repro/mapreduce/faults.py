@@ -36,7 +36,7 @@ _IN_WORKER = False
 
 def set_current_attempt(attempt: int) -> None:
     """Publish the attempt number fault specs gate on (engine-facing)."""
-    global _CURRENT_ATTEMPT
+    global _CURRENT_ATTEMPT  # repro: noqa[REP301] -- per-process fault-injection latch; each worker sets only its own copy
     _CURRENT_ATTEMPT = attempt
 
 
@@ -50,7 +50,7 @@ def mark_worker_process() -> None:
     Without this guard a crash fault re-executed serially in the parent
     would take the whole job (and the test process) down with it.
     """
-    global _IN_WORKER
+    global _IN_WORKER  # repro: noqa[REP301] -- pool-initializer flag, set once in the child before any task runs
     _IN_WORKER = True
 
 

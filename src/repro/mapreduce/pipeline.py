@@ -119,7 +119,7 @@ class CheckpointStore:
             "seconds": seconds,
             "n_output": len(data) if hasattr(data, "__len__") else None,
             "counters": counters or {},
-            "written_at": time.time(),
+            "written_at": time.time(),  # repro: noqa[REP103] -- checkpoint manifest metadata; never compared or fed back into algorithm output
         }
         tmp = stem.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=1, default=str))

@@ -160,6 +160,10 @@ def _run_item(
             last_exc = e
         except SkipBudgetExceeded:
             raise
+        except (KeyboardInterrupt, SystemExit):
+            # Never retried: a user abort / interpreter shutdown must
+            # tear the job down, not burn the remaining attempts.
+            raise
         except Exception as e:
             last_exc = e
             counters.incr(f"{phase}_attempt_failures")
@@ -190,8 +194,13 @@ def _execute_phase(
         for i, item in enumerate(items):
             try:
                 futures[i] = pool.submit(worker_fn, (task, item, 0))
+            except (KeyboardInterrupt, SystemExit):
+                raise
             except Exception:
-                futures[i] = None  # pool broken; _run_item resubmits
+                # Pool broken at submit time; _run_item resubmits after
+                # the rebuild.  Counted so a swallowed burst is visible.
+                counters.incr("presubmit_failures")
+                futures[i] = None
     results = []
     for i, item in enumerate(items):
         results.append(
@@ -236,6 +245,8 @@ def _skip_map_chunk(
         faults.set_current_attempt(post_retry_attempt)
         try:
             pairs, stats = _map_chunk((task, records))
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
             if len(records) == 1:
                 _account_skip(
@@ -279,6 +290,8 @@ def _skip_reduce_partition(
         try:
             for k in key_slice:
                 produced.extend(task.reducer(k, groups[k]))
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
             if len(key_slice) == 1:
                 k = key_slice[0]
@@ -398,8 +411,12 @@ def call_with_retries(
             counters.incr("task_attempts")
         try:
             return fn()
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception as e:
             last_exc = e
+            if counters is not None:
+                counters.incr("attempt_failures")
     raise FatalTaskError(
         f"{description} failed after {policy.max_retries + 1} attempts"
     ) from last_exc

@@ -14,8 +14,8 @@ functions or ``functools.partial`` of them).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+from random import Random
 from typing import Any, Callable, Iterable
 
 KV = tuple[Any, Any]
@@ -61,10 +61,21 @@ class RetryPolicy:
     max_skipped_records: int | None = None
     seed: int = 0
 
-    def backoff_seconds(self, attempt: int, salt: int = 0) -> float:
-        """Deterministic jittered backoff before ``attempt`` (>= 1)."""
+    def backoff_seconds(
+        self, attempt: int, salt: int = 0, rng: Random | None = None
+    ) -> float:
+        """Deterministic jittered backoff before ``attempt`` (>= 1).
+
+        Jitter never touches the module-global RNG: by default it comes
+        from a ``random.Random`` seeded with ``(seed, attempt, salt)``,
+        so every retry schedule is reproducible from the policy alone.
+        Callers may inject their own (seeded) ``rng`` instead — the
+        injection point tests and simulations use to pin or sweep
+        backoff behavior.
+        """
         base = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
-        rng = random.Random(f"{self.seed}-{attempt}-{salt}")
+        if rng is None:
+            rng = Random(f"{self.seed}-{attempt}-{salt}")
         return base * (1.0 + self.backoff_jitter * rng.random())
 
 

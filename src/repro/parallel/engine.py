@@ -110,6 +110,8 @@ def _skip_chunk(
         sub = reads.subset(np.array([i]))
         try:
             corrected, stats = _call_chunk(corrector, sub)
+        except (KeyboardInterrupt, SystemExit):
+            raise
         except Exception:
             # "skipped_records" keeps the reliable layer's skip budget
             # (RetryPolicy.max_skipped_records) authoritative here too.
@@ -255,7 +257,7 @@ def correct_in_parallel(
             shared_handle = SharedSpectrumHandle(corrector.spectrum)
             shared_bytes = shared_handle.nbytes
 
-    global _WORKER_STATE
+    global _WORKER_STATE  # repro: noqa[REP301] -- install-before-fork pattern: set in the parent before the pool exists, restored in the finally; children only read
     prev_state = _WORKER_STATE
     # Installed before the pool exists: forked children inherit it, and
     # the parent needs it for the serial path, straggler re-execution,

@@ -10,7 +10,7 @@ from .alphabet import encode
 _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
 
-def hamming(a, b) -> int:
+def hamming(a: str | np.ndarray, b: str | np.ndarray) -> int:
     """Hamming distance between two equal-length strings or code arrays."""
     if isinstance(a, str):
         a = encode(a)

@@ -16,7 +16,9 @@ import numpy as np
 from .alphabet import encode
 
 
-def edit_distance(a, b, band: int | None = None) -> int:
+def edit_distance(
+    a: str | np.ndarray, b: str | np.ndarray, band: int | None = None
+) -> int:
     """Levenshtein distance between two strings / code arrays.
 
     ``band`` restricts the DP to a diagonal corridor (exact whenever

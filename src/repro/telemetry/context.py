@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import contextvars
 import sys
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
+from typing import Any, Iterator, TextIO
 
 from .metrics import MetricsRegistry
 from .progress import Heartbeat
@@ -41,10 +42,10 @@ class Telemetry:
         tool: str = "run",
         registry: MetricsRegistry | None = None,
         progress: bool = False,
-        progress_stream=None,
+        progress_stream: TextIO | None = None,
         heartbeat_interval: float = 2.0,
         profile: bool = False,
-    ):
+    ) -> None:
         self.tool = tool
         self.registry = registry if registry is not None else MetricsRegistry()
         self.collector = SpanCollector(name=tool, profile=profile)
@@ -57,14 +58,16 @@ class Telemetry:
         )
 
     # -- spans --------------------------------------------------------
-    def span(self, name: str, **meta):
+    def span(
+        self, name: str, **meta: Any
+    ) -> AbstractContextManager[SpanRecord]:
         return self.collector.span(name, **meta)
 
     # -- counters -----------------------------------------------------
     def count(self, name: str, amount: int = 1) -> None:
         self.registry.incr(name, amount)
 
-    def merge_counters(self, counters) -> None:
+    def merge_counters(self, counters: Any) -> None:
         """Merge a Counters/registry/dict unless it *is* the registry
         (layers that were handed the session registry directly would
         otherwise double count)."""
@@ -128,7 +131,7 @@ def current() -> Telemetry | None:
 
 
 @contextmanager
-def session(tool: str = "run", **kwargs):
+def session(tool: str = "run", **kwargs: Any) -> Iterator[Telemetry]:
     """Open a :class:`Telemetry` as the current ambient session.
 
     On exit the session is finished (root span closed, heartbeats
@@ -149,7 +152,7 @@ def session(tool: str = "run", **kwargs):
 
 
 @contextmanager
-def span(name: str, **meta):
+def span(name: str, **meta: Any) -> Iterator[SpanRecord | None]:
     """Ambient span: records under the current session, no-op without one."""
     tel = current()
     if tel is None:
@@ -189,7 +192,7 @@ def tick(
         tel.tick(key, n, total=total, unit=unit)
 
 
-def merge_counters(counters) -> None:
+def merge_counters(counters: Any) -> None:
     """Ambient merge of a finished layer's counters (no-op without a
     session; skips the session's own registry to avoid double counts)."""
     tel = current()
@@ -197,7 +200,7 @@ def merge_counters(counters) -> None:
         tel.merge_counters(counters)
 
 
-def active_counters():
+def active_counters() -> MetricsRegistry | None:
     """The session registry, for layers that take a ``counters`` object
     (None without a session — callers fall back to a local Counters)."""
     tel = current()

@@ -16,6 +16,8 @@ to ``Counters.merge`` in the other direction.
 
 from __future__ import annotations
 
+from typing import Any, ItemsView
+
 
 class MetricsRegistry:
     """Counters-compatible integer counters plus float gauges."""
@@ -28,7 +30,7 @@ class MetricsRegistry:
     def incr(self, name: str, amount: int = 1) -> None:
         self._data[name] = self._data.get(name, 0) + amount
 
-    def merge(self, other) -> None:
+    def merge(self, other: Any) -> None:
         """Merge counters from a Counters, MetricsRegistry, or dict."""
         data = other._data if hasattr(other, "_data") else other
         for k, v in data.items():
@@ -43,7 +45,7 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, int]:
         return dict(self._data)
 
-    def items(self):
+    def items(self) -> ItemsView[str, int]:
         """Counter items — lets ``Counters.merge(registry)`` work."""
         return self._data.items()
 
@@ -59,7 +61,7 @@ class MetricsRegistry:
     def gauges(self) -> dict[str, float]:
         return dict(self._gauges)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, int] | dict[str, float]]:
         """Both families in one serializable dict."""
         return {"counters": self.as_dict(), "gauges": self.gauges()}
 

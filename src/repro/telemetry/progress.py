@@ -12,6 +12,7 @@ sleeping.
 from __future__ import annotations
 
 import time
+from typing import Callable, TextIO
 
 
 class Heartbeat:
@@ -23,9 +24,9 @@ class Heartbeat:
         total: int | None = None,
         unit: str = "items",
         interval: float = 2.0,
-        stream=None,
-        clock=time.monotonic,
-    ):
+        stream: TextIO | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.label = label
         self.total = total
         self.unit = unit

@@ -43,6 +43,7 @@ import platform
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from .spans import SpanRecord
 
@@ -50,7 +51,7 @@ from .spans import SpanRecord
 SCHEMA_VERSION = "repro-run-report/1"
 
 #: JSON-Schema rendering of the same contract, for external validators.
-JSON_SCHEMA: dict = {
+JSON_SCHEMA: dict[str, Any] = {
     "$schema": "https://json-schema.org/draft/2020-12/schema",
     "$id": "https://repro.invalid/schemas/run-report-v1.json",
     "title": "repro run report v1",
@@ -113,7 +114,7 @@ JSON_SCHEMA: dict = {
 }
 
 
-def environment_info() -> dict:
+def environment_info() -> dict[str, Any]:
     """The run's execution environment (stamped into every report)."""
     try:
         cpu_count = len(os.sched_getaffinity(0))
@@ -140,12 +141,12 @@ class RunReport:
     finished_at: float = 0.0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    counters: dict = field(default_factory=dict)
-    gauges: dict = field(default_factory=dict)
-    stages: list[dict] = field(default_factory=list)
-    spans: dict = field(default_factory=dict)
-    environment: dict = field(default_factory=dict)
-    extra: dict = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    stages: list[dict[str, Any]] = field(default_factory=list)
+    spans: dict[str, Any] = field(default_factory=dict)
+    environment: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
     error: str | None = None
     schema: str = SCHEMA_VERSION
 
@@ -155,12 +156,12 @@ class RunReport:
         cls,
         tool: str,
         root: SpanRecord,
-        counters: dict | None = None,
-        gauges: dict | None = None,
+        counters: dict[str, int] | None = None,
+        gauges: dict[str, float] | None = None,
         argv: list[str] | None = None,
         status: str = "ok",
         error: str | None = None,
-        extra: dict | None = None,
+        extra: dict[str, Any] | None = None,
     ) -> "RunReport":
         """Build a report from a finished span tree + metric snapshots."""
         total = root.wall_seconds
@@ -201,8 +202,8 @@ class RunReport:
         return SpanRecord.from_dict(self.spans)
 
     # -- serialization ------------------------------------------------
-    def to_dict(self) -> dict:
-        d = {
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
             "schema": self.schema,
             "tool": self.tool,
             "status": self.status,
@@ -236,7 +237,7 @@ class RunReport:
         return path
 
     @classmethod
-    def from_dict(cls, d: dict) -> "RunReport":
+    def from_dict(cls, d: dict[str, Any]) -> "RunReport":
         return cls(
             tool=d["tool"],
             argv=list(d.get("argv", [])),
@@ -265,11 +266,13 @@ class RunReport:
 
 
 # -- validation ---------------------------------------------------------------
-def _is_number(x) -> bool:
+def _is_number(x: object) -> bool:
     return isinstance(x, numbers.Real) and not isinstance(x, bool)
 
 
-def _check_span(span, where: str, problems: list[str], depth: int = 0) -> None:
+def _check_span(
+    span: Any, where: str, problems: list[str], depth: int = 0
+) -> None:
     if depth > 64:
         problems.append(f"{where}: span tree deeper than 64 levels")
         return
@@ -290,7 +293,7 @@ def _check_span(span, where: str, problems: list[str], depth: int = 0) -> None:
         _check_span(child, f"{where}.children[{i}]", problems, depth + 1)
 
 
-def validate_report_dict(data) -> list[str]:
+def validate_report_dict(data: object) -> list[str]:
     """Check ``data`` against the run-report schema; return problems.
 
     An empty list means the document is schema-valid.

@@ -23,6 +23,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:
+    import cProfile
 
 #: Entries kept from a profiled span, by cumulative time.
 PROFILE_TOP_N = 20
@@ -36,12 +40,12 @@ class SpanRecord:
     started_at: float = 0.0  # epoch seconds (time.time)
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
     children: list["SpanRecord"] = field(default_factory=list)
     #: Top functions by cumulative time when the span was profiled.
-    profile: list[dict] | None = None
+    profile: list[dict[str, Any]] | None = None
 
-    def iter_all(self):
+    def iter_all(self) -> Iterator["SpanRecord"]:
         """This record and every descendant, depth first."""
         yield self
         for child in self.children:
@@ -57,8 +61,8 @@ class SpanRecord:
     def child_wall_seconds(self) -> float:
         return sum(c.wall_seconds for c in self.children)
 
-    def as_dict(self) -> dict:
-        d: dict = {
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
             "name": self.name,
             "started_at": round(self.started_at, 6),
             "wall_seconds": round(self.wall_seconds, 6),
@@ -73,7 +77,7 @@ class SpanRecord:
         return d
 
     @classmethod
-    def from_dict(cls, d: dict) -> "SpanRecord":
+    def from_dict(cls, d: dict[str, Any]) -> "SpanRecord":
         return cls(
             name=d["name"],
             started_at=float(d.get("started_at", 0.0)),
@@ -85,12 +89,14 @@ class SpanRecord:
         )
 
 
-def _profile_top(prof, limit: int = PROFILE_TOP_N) -> list[dict]:
+def _profile_top(
+    prof: "cProfile.Profile", limit: int = PROFILE_TOP_N
+) -> list[dict[str, Any]]:
     """Flatten a cProfile run to its top entries by cumulative time."""
     import pstats
 
     stats = pstats.Stats(prof)
-    rows = []
+    rows: list[dict[str, Any]] = []
     for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in (
         stats.stats.items()  # type: ignore[attr-defined]
     ):
@@ -109,7 +115,7 @@ def _profile_top(prof, limit: int = PROFILE_TOP_N) -> list[dict]:
 class SpanCollector:
     """Owns one span tree and the cursor where new spans open."""
 
-    def __init__(self, name: str = "run", profile: bool = False):
+    def __init__(self, name: str = "run", profile: bool = False) -> None:
         self.root = SpanRecord(name=name, started_at=time.time())
         self.profile_stages = profile
         self._stack: list[SpanRecord] = [self.root]
@@ -128,7 +134,9 @@ class SpanCollector:
         return self._stack[-1]
 
     @contextmanager
-    def span(self, name: str, profile: bool | None = None, **meta):
+    def span(
+        self, name: str, profile: bool | None = None, **meta: Any
+    ) -> Iterator[SpanRecord]:
         """Open a child span under the cursor; yields its record.
 
         ``profile`` defaults to profiling stage-level spans (direct

@@ -15,7 +15,9 @@ committed files.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -56,28 +58,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    outdir = P.GOLDEN_DIR
-    if args.check:
-        import tempfile
-
-        tmp = tempfile.mkdtemp(prefix="golden-check-")
-        outdir = Path(tmp)
     rc = 0
-    for case in args.cases:
-        written = _write_case(case, outdir)
-        for f in written:
-            committed = P.GOLDEN_DIR / f.name
-            if args.check:
-                if not committed.exists():
-                    print(f"MISSING  {committed.name}")
-                    rc = 1
-                elif committed.read_bytes() != f.read_bytes():
-                    print(f"DIFFERS  {committed.name}")
-                    rc = 1
+    with contextlib.ExitStack() as stack:
+        outdir = P.GOLDEN_DIR
+        if args.check:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="golden-check-")
+            )
+            outdir = Path(tmp)
+        for case in args.cases:
+            written = _write_case(case, outdir)
+            for f in written:
+                committed = P.GOLDEN_DIR / f.name
+                if args.check:
+                    if not committed.exists():
+                        print(f"MISSING  {committed.name}")
+                        rc = 1
+                    elif committed.read_bytes() != f.read_bytes():
+                        print(f"DIFFERS  {committed.name}")
+                        rc = 1
+                    else:
+                        print(f"ok       {committed.name}")
                 else:
-                    print(f"ok       {committed.name}")
-            else:
-                print(f"wrote    {f}")
+                    print(f"wrote    {f}")
     return rc
 
 

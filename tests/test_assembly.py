@@ -10,7 +10,7 @@ from repro.assembly import (
     genome_recovery,
 )
 from repro.io import ReadSet
-from repro.seq import decode, encode
+from repro.seq import decode
 from repro.simulate import UniformErrorModel, random_genome, simulate_reads
 
 

@@ -95,9 +95,9 @@ def test_classification_with_full_database(sample):
     assert db.n_references == tax.n_species
     predicted = classify_reads(sample.reads, db, min_similarity=0.4)
     truth = sample.true_labels("species")
-    report = classification_report(predicted, truth)
-    assert report["classified_fraction"] > 0.9
-    assert report["accuracy_on_classified"] > 0.85
+    cls_report = classification_report(predicted, truth)
+    assert cls_report["classified_fraction"] > 0.9
+    assert cls_report["accuracy_on_classified"] > 0.85
 
 
 def test_classification_with_partial_database(sample):

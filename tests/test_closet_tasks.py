@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.closet import hash64, read_hash_sets
+from repro.core.closet import read_hash_sets
 from repro.core.closet import tasks as T
 from repro.io import ReadSet
 from repro.mapreduce import run_task

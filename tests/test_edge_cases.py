@@ -1,6 +1,5 @@
 """Edge-case tests for paths the mainline suites do not reach."""
 
-import io
 
 import numpy as np
 import pytest
@@ -15,7 +14,6 @@ from repro.io import (
 from repro.kmer import MaskedKmerIndex, spectrum_from_reads
 from repro.mapping import aligned_true_codes, map_reads
 from repro.mapreduce import MapReduceTask, Pipeline, run_task
-from repro.seq import string_to_kmer
 
 
 # -- io -------------------------------------------------------------------

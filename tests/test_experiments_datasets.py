@@ -8,7 +8,6 @@ from repro.experiments import (
     chapter2_genomes,
     chapter3_datasets,
     chapter4_samples,
-    wrong_illumina_model,
 )
 
 

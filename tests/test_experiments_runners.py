@@ -5,7 +5,6 @@ only pin the *contract* of each runner — row schema, plausible ranges
 — so refactors are caught quickly.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -22,7 +22,6 @@ from repro.core.reptile import (
 from repro.eval import evaluate_correction
 from repro.io import ReadSet
 from repro.kmer import spectrum_from_reads
-from repro.seq import string_to_kmer
 from repro.simulate import (
     UniformErrorModel,
     illumina_like_model,

@@ -1,13 +1,12 @@
 """Tests for the k-spectrum."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.io import ReadSet
 from repro.kmer import spectrum_from_reads, spectrum_from_sequence
-from repro.seq import encode, reverse_complement, string_to_kmer
+from repro.seq import encode, string_to_kmer
 
 
 def test_spectrum_counts_simple():

@@ -1,0 +1,371 @@
+"""Per-rule fixtures for the ``repro lint`` rule packs.
+
+Contract for every shipped rule: one positive fixture the rule fires
+on, one negative fixture it stays quiet on, and the positive fixture
+silenced by a ``# repro: noqa[RULE]`` suppression.  The fixtures here
+are the executable rule catalog — a rule whose hazard can no longer
+be written down does not belong in the packs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import all_rules, get_rule, lint_source
+
+
+def _lint(rule_id: str, source: str):
+    """Run exactly one rule over dedented source; return findings."""
+    result = lint_source(
+        textwrap.dedent(source), path="src/repro/fake/mod.py",
+        rules=[get_rule(rule_id)],
+    )
+    assert not result.errors, result.errors
+    return result.findings
+
+
+#: rule id -> (positive fixture, negative fixture).  The positive MUST
+#: produce >= 1 finding of that rule; the negative must produce none.
+FIXTURES: dict[str, tuple[str, str]] = {
+    "REP101": (
+        """
+        import random
+
+        def jitter():
+            return random.random()
+        """,
+        """
+        from random import Random
+
+        def jitter(seed):
+            return Random(seed).random()
+        """,
+    ),
+    "REP102": (
+        """
+        import numpy as np
+
+        def sample(n):
+            return np.random.rand(n)
+        """,
+        """
+        import numpy as np
+
+        def sample(n, seed):
+            return np.random.default_rng(seed).random(n)
+        """,
+    ),
+    "REP103": (
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        """
+        import time
+
+        def pause():
+            time.sleep(0.1)
+        """,
+    ),
+    "REP104": (
+        """
+        def emit(kmers):
+            return list(set(kmers))
+        """,
+        """
+        def emit(kmers):
+            return sorted(set(kmers))
+        """,
+    ),
+    "REP201": (
+        """
+        def read(path):
+            fh = open(path)
+            return fh.read()
+        """,
+        """
+        def read(path):
+            with open(path) as fh:
+                return fh.read()
+        """,
+    ),
+    "REP202": (
+        """
+        import tempfile
+
+        def spill():
+            fd, path = tempfile.mkstemp()
+            return path
+        """,
+        """
+        import os
+        import tempfile
+
+        def spill():
+            fd, path = tempfile.mkstemp()
+            try:
+                return transform(path)
+            finally:
+                os.remove(path)
+        """,
+    ),
+    "REP203": (
+        """
+        from multiprocessing import shared_memory
+
+        def back(nbytes):
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            return seg
+        """,
+        """
+        from multiprocessing import shared_memory
+
+        class Handle:
+            def __init__(self, nbytes):
+                self.seg = shared_memory.SharedMemory(create=True, size=nbytes)
+
+            def close(self):
+                self.seg.close()
+                self.seg.unlink()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self.close()
+        """,
+    ),
+    "REP301": (
+        """
+        _STATE = None
+
+        def install(value):
+            global _STATE
+            _STATE = value
+        """,
+        """
+        _STATE = None
+
+        def read_only():
+            return _STATE
+        """,
+    ),
+    "REP302": (
+        """
+        def run(pool, items):
+            return pool.submit(lambda x: x + 1, items)
+        """,
+        """
+        def _work(x):
+            return x + 1
+
+        def run(pool, items):
+            return pool.submit(_work, items)
+        """,
+    ),
+    "REP401": (
+        """
+        def attempt(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+        """,
+        """
+        def attempt(fn, counters):
+            try:
+                return fn()
+            except Exception:
+                counters.incr("attempt_failures")
+                return None
+        """,
+    ),
+    "REP402": (
+        """
+        def attempt(fn):
+            try:
+                return fn()
+            except BaseException:
+                return None
+        """,
+        """
+        def attempt(fn):
+            try:
+                return fn()
+            except BaseException:
+                cleanup()
+                raise
+        """,
+    ),
+    "REP501": (
+        """
+        from repro import telemetry
+
+        telemetry.count("module_imports")
+        """,
+        """
+        from repro import telemetry
+
+        def record():
+            telemetry.count("module_imports")
+        """,
+    ),
+    "REP502": (
+        """
+        def wall(report):
+            return report["wall_secs"]
+        """,
+        """
+        def wall(report):
+            return report["wall_seconds"]
+        """,
+    ),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_fires_on_positive_fixture(rule_id):
+    positive, _ = FIXTURES[rule_id]
+    findings = _lint(rule_id, positive)
+    assert findings, f"{rule_id} did not fire on its positive fixture"
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.line >= 1 and f.col >= 1 for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_quiet_on_negative_fixture(rule_id):
+    _, negative = FIXTURES[rule_id]
+    assert _lint(rule_id, negative) == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_noqa_suppresses_positive_fixture(rule_id):
+    positive, _ = FIXTURES[rule_id]
+    findings = _lint(rule_id, positive)
+    lines = textwrap.dedent(positive).splitlines()
+    for f in findings:
+        lines[f.line - 1] += f"  # repro: noqa[{rule_id}] -- fixture"
+    result = lint_source(
+        "\n".join(lines), path="src/repro/fake/mod.py",
+        rules=[get_rule(rule_id)],
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == len(findings)
+
+
+def test_every_registered_rule_has_fixtures():
+    registered = {r.id for r in all_rules()}
+    assert registered == set(FIXTURES), (
+        "every shipped rule needs a positive + negative fixture here"
+    )
+
+
+def test_rules_carry_catalog_metadata():
+    for rule in all_rules():
+        assert rule.id.startswith("REP") and len(rule.id) == 6
+        assert rule.name and rule.name == rule.name.lower()
+        assert len(rule.rationale) > 20, rule.id
+
+
+# -- targeted edge cases beyond the fixture matrix ----------------------------
+def test_rep103_exempts_telemetry_package():
+    src = "import time\n\ndef now():\n    return time.time()\n"
+    result = lint_source(
+        src, path="src/repro/telemetry/spans.py",
+        rules=[get_rule("REP103")],
+    )
+    assert result.findings == []
+
+
+def test_rep104_set_comprehension_result_not_flagged():
+    findings = _lint("REP104", "def f(xs):\n    return {x + 1 for x in xs}\n")
+    assert findings == []
+
+
+def test_rep104_for_loop_over_set_call_flagged():
+    findings = _lint(
+        "REP104",
+        "def f(xs, out):\n    for x in set(xs):\n        out.append(x)\n",
+    )
+    assert len(findings) == 1
+
+
+def test_rep201_close_in_finally_is_accepted():
+    src = """
+    def read(path, source=None):
+        close = False
+        if source is None:
+            handle = open(path)
+            close = True
+        else:
+            handle = source
+        try:
+            return handle.read()
+        finally:
+            if close:
+                handle.close()
+    """
+    assert _lint("REP201", src) == []
+
+
+def test_rep302_target_keyword_flagged():
+    src = """
+    from multiprocessing import Process
+
+    def run():
+        return Process(target=lambda: None)
+    """
+    assert len(_lint("REP302", src)) == 1
+
+
+def test_rep401_reraise_is_accepted():
+    src = """
+    def attempt(fn):
+        try:
+            return fn()
+        except Exception:
+            raise RuntimeError("wrapped")
+    """
+    assert _lint("REP401", src) == []
+
+
+def test_rep402_bare_except_flagged():
+    src = """
+    def attempt(fn):
+        try:
+            return fn()
+        except:
+            pass
+    """
+    assert len(_lint("REP402", src)) == 1
+
+
+def test_rep501_guarded_current_is_accepted():
+    src = """
+    from repro import telemetry
+
+    def record():
+        tel = telemetry.current()
+        if tel is not None:
+            tel.count("x")
+    """
+    assert _lint("REP501", src) == []
+
+
+def test_rep501_unguarded_current_chain_flagged():
+    src = """
+    from repro import telemetry
+
+    def record():
+        telemetry.current().count("x")
+    """
+    assert len(_lint("REP501", src)) == 1
+
+
+def test_rep502_ignores_non_report_receivers():
+    src = "def f(scores):\n    return scores['wall_secs']\n"
+    assert _lint("REP502", src) == []

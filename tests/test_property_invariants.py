@@ -8,7 +8,6 @@ from repro.core.closet import hash64, kmer_containment, read_hash_sets
 from repro.eval import evaluate_correction
 from repro.io import ReadSet
 from repro.kmer import (
-    KmerSpectrum,
     compose_tile,
     spectrum_from_reads,
     split_tile,
@@ -16,7 +15,6 @@ from repro.kmer import (
 )
 from repro.mapreduce import MapReduceTask, run_task
 from repro.seq import (
-    encode,
     kmer_hamming_scalar,
     reverse_complement,
     string_to_kmer,

@@ -16,7 +16,7 @@ from repro.core.redeem import (
 from repro.io import ReadSet
 from repro.kmer import spectrum_from_reads
 from repro.seq import string_to_kmer
-from repro.simulate import UniformErrorModel, illumina_like_model
+from repro.simulate import illumina_like_model
 
 
 # -- error model --------------------------------------------------------------

@@ -17,7 +17,6 @@ from repro.seq import (
     revcomp_kmer_codes,
     reverse_complement,
     string_to_kmer,
-    unpack_kmer,
     valid_kmer_mask,
 )
 

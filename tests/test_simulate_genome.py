@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.simulate import (
-    Genome,
     GenomeSpec,
     RepeatFamily,
     random_codes,

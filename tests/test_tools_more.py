@@ -1,6 +1,5 @@
 """Additional CLI coverage: redeem/shrec methods, assemble options."""
 
-import numpy as np
 import pytest
 
 from repro.tools.assemble import main as assemble_main
