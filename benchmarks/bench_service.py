@@ -1,0 +1,183 @@
+"""Extension — overhead of the durable correction job service.
+
+The service's promise is crash-safety, not speed — but it only gets
+adopted if the durability tax is small.  Two measurements:
+
+- **store throughput**: submit / claim / heartbeat / finish cycles per
+  second against the WAL-mode SQLite store, serially and with
+  contending claimer threads (every cycle is a fsynced write
+  transaction, so this is a floor, not a ceiling);
+- **end-to-end overhead**: one correction run through the full worker
+  path (claim, leases, checkpoints, atomic publish) versus the direct
+  in-process `repro correct` equivalent — the headline number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+
+from repro import telemetry
+from repro.service import JobStore, ServeWorker
+from repro.service.spec import JobSpec
+from repro.tools.correct import main as correct_main
+from repro.tools.simulate import main as simulate_main
+
+
+def _print_rows(title: str, rows: list[dict]) -> None:
+    print(f"\n== {title} ==")
+    if not rows:
+        return
+    cols = list(rows[0])
+    widths = {
+        c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols
+    }
+    print("  ".join(c.ljust(widths[c]) for c in cols))
+    for r in rows:
+        print("  ".join(str(r[c]).ljust(widths[c]) for c in cols))
+
+
+def run_store_throughput(
+    tmp, n_jobs: int, thread_counts: tuple[int, ...]
+) -> list[dict]:
+    rows = []
+    for n_threads in thread_counts:
+        path = tmp / f"store-{n_threads}.sqlite3"
+        spec = JobSpec(input="in.fastq", output="out.fastq")
+        with JobStore(path) as store:
+            for _ in range(n_jobs):
+                store.submit(spec)
+        done = []
+        lock = threading.Lock()
+
+        def drain(worker_id):
+            # One connection per thread, as sqlite3 requires.
+            with JobStore(path) as s:
+                while True:
+                    job = s.claim(worker_id, lease_seconds=60)
+                    if job is None:
+                        return
+                    s.renew(job.id, worker_id, lease_seconds=60)
+                    s.finish(job.id, worker_id, {"ok": True})
+                    with lock:
+                        done.append(job.id)
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",))
+            for i in range(n_threads)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        assert len(done) == n_jobs and len(set(done)) == n_jobs
+        rows.append({
+            "claimers": n_threads,
+            "jobs": n_jobs,
+            "wall_s": round(wall, 3),
+            "cycles_per_s": round(n_jobs / wall, 1),
+        })
+    return rows
+
+
+def run_service_overhead(tmp, genome_length: int, coverage: float) -> list[dict]:
+    data = tmp / "data"
+    rc = simulate_main([
+        str(data), "--genome-length", str(genome_length),
+        "--coverage", str(coverage), "--seed", "7",
+    ])
+    assert rc == 0
+    reads = data / "reads.fastq"
+
+    direct_out = tmp / "direct.fastq"
+    t0 = time.perf_counter()
+    rc = correct_main([str(reads), str(direct_out), "--chunk-size", "256"])
+    direct_wall = time.perf_counter() - t0
+    assert rc == 0
+
+    spool = tmp / "spool"
+    service_out = tmp / "service.fastq"
+    worker = ServeWorker(spool, lease_seconds=30.0, poll_seconds=0.01)
+    worker.store.submit(JobSpec(
+        input=str(reads), output=str(service_out), chunk_size=256,
+    ))
+    t0 = time.perf_counter()
+    rc = worker.run(max_jobs=1)
+    service_wall = time.perf_counter() - t0
+    worker.store.close()
+    assert rc == 0
+    assert service_out.read_bytes() == direct_out.read_bytes(), (
+        "service output must be byte-identical to the direct CLI run"
+    )
+    return [{
+        "path": "direct correct",
+        "wall_s": round(direct_wall, 3),
+        "overhead": "-",
+    }, {
+        "path": "service (claim+lease+atomic publish)",
+        "wall_s": round(service_wall, 3),
+        "overhead": f"{(service_wall / direct_wall - 1) * 100:+.1f}%",
+    }]
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+    from pathlib import Path
+
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="tiny dataset, equivalence-only — the CI bit-rot guard",
+    )
+    p.add_argument("--jobs", type=int, default=200)
+    p.add_argument("--genome-length", type=int, default=20_000)
+    p.add_argument("--coverage", type=float, default=10.0)
+    p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a repro-run-report/1 JSON report (rows in `extra`)",
+    )
+    args = p.parse_args(argv)
+    if args.smoke:
+        args.jobs = 40
+        args.genome_length = 2_000
+        args.coverage = 8.0
+    with tempfile.TemporaryDirectory() as tmp_name:
+        tmp = Path(tmp_name)
+        with telemetry.session("bench-service") as tel:
+            with telemetry.span("store_throughput"):
+                store_rows = run_store_throughput(
+                    tmp, args.jobs, (1, 2, 4)
+                )
+            with telemetry.span("service_overhead"):
+                overhead_rows = run_service_overhead(
+                    tmp, args.genome_length, args.coverage
+                )
+    _print_rows(
+        f"Job-store cycle throughput ({args.jobs} jobs, WAL + fsync)",
+        store_rows,
+    )
+    _print_rows("End-to-end service overhead", overhead_rows)
+    print(
+        "equivalence: service output byte-identical to direct correction"
+    )
+    if args.report:
+        path = tel.report(
+            argv=list(argv) if argv is not None else None,
+            extra={
+                "store_throughput": store_rows,
+                "service_overhead": overhead_rows,
+            },
+        ).write(args.report)
+        print(f"wrote run report to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

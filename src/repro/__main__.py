@@ -37,6 +37,14 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "repro.analysis.cli",
         "static analysis: determinism / resources / fork safety",
     ),
+    "serve": (
+        "repro.service.serve",
+        "run a durable correction job worker over a spool",
+    ),
+    "jobs": (
+        "repro.service.cli",
+        "submit / inspect / retry durable correction jobs",
+    ),
 }
 
 

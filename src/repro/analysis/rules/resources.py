@@ -182,3 +182,60 @@ class SharedMemoryCleanupRule(Rule):
                 "close()/unlink() (try/finally, with, or owning class "
                 "with close + __exit__)",
             )
+
+
+def _call_mode(node: ast.Call) -> str | None:
+    """The constant-string mode of an open-style call, if spelled out."""
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                return kw.value.value
+            return None
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        return None
+    return None
+
+
+#: open-style callables whose write modes produce an artifact file.
+_WRITE_OPENERS = ("open", "io.open", "os.fdopen", "gzip.open")
+
+
+@register_rule
+class NonAtomicOutputWriteRule(Rule):
+    id = "REP204"
+    name = "non-atomic-output-write"
+    rationale = (
+        "a direct open-for-write in the user-facing layers (tools/, "
+        "service/) leaves a truncated artifact at the final path if the "
+        "process dies mid-write; outputs must go through "
+        "repro.io.atomic (temp file + fsync + rename) so a destination "
+        "only ever holds a complete file"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        # Scoped to the packages that write artifacts users consume;
+        # library layers manage their own spill/scratch files, and
+        # append mode is the crash-recovery resume pattern (the staged
+        # partial is published through an atomic rename).
+        if not ctx.in_package("tools", "service"):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in _WRITE_OPENERS:
+                continue
+            mode = _call_mode(node)
+            if mode is None or not any(c in mode for c in "wx"):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"`{name}(..., {mode!r})` writes a final output path "
+                "directly; stage it through repro.io.atomic "
+                "(atomic_writer / atomic_write_text / publish_file)",
+            )

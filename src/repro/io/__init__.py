@@ -1,5 +1,11 @@
 """Read/write FASTA & FASTQ, Phred codecs, and the columnar ReadSet."""
 
+from .atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    publish_file,
+)
 from .fasta import parse_fasta, write_fasta
 from .fastq import parse_fastq, read_fastq, read_fastq_chunks, write_fastq
 from .quality import (
@@ -16,6 +22,10 @@ from .readset import PAD, ReadSet
 __all__ = [
     "ReadSet",
     "PAD",
+    "atomic_writer",
+    "atomic_write_text",
+    "atomic_write_json",
+    "publish_file",
     "parse_fasta",
     "write_fasta",
     "parse_fastq",

@@ -8,6 +8,7 @@ from typing import Iterator
 
 import numpy as np
 
+from .atomic import atomic_writer
 from .quality import PHRED33, decode_quality, encode_quality
 from .readset import ReadSet
 
@@ -141,21 +142,27 @@ def read_fastq_chunks(
 def write_fastq(
     reads: ReadSet, dest: str | Path | io.TextIOBase, offset: int = PHRED33
 ) -> None:
-    """Write a :class:`ReadSet` as FASTQ (reads without qualities get Q40)."""
-    close = False
+    """Write a :class:`ReadSet` as FASTQ (reads without qualities get Q40).
+
+    Path destinations are written atomically (temp file + fsync +
+    rename via :mod:`repro.io.atomic`), so a reader never observes a
+    truncated FASTQ at ``dest`` even if this process is killed
+    mid-write.  Handle destinations are the caller's to manage.
+    """
     if isinstance(dest, (str, Path)):
-        handle = open(dest, "wt")
-        close = True
-    else:
-        handle = dest
-    try:
-        for i in range(reads.n_reads):
-            name = reads.names[i] if reads.names else f"read{i}"
-            seq = reads.sequence(i)
-            q = reads.read_quals(i)
-            if q is None:
-                q = np.full(len(seq), 40, dtype=np.int16)
-            handle.write(f"@{name}\n{seq}\n+\n{encode_quality(q, offset)}\n")
-    finally:
-        if close:
-            handle.close()
+        with atomic_writer(dest, "wt") as handle:
+            _write_fastq_records(reads, handle, offset)
+        return
+    _write_fastq_records(reads, dest, offset)
+
+
+def _write_fastq_records(
+    reads: ReadSet, handle: io.TextIOBase, offset: int
+) -> None:
+    for i in range(reads.n_reads):
+        name = reads.names[i] if reads.names else f"read{i}"
+        seq = reads.sequence(i)
+        q = reads.read_quals(i)
+        if q is None:
+            q = np.full(len(seq), 40, dtype=np.int16)
+        handle.write(f"@{name}\n{seq}\n+\n{encode_quality(q, offset)}\n")

@@ -33,6 +33,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..mapreduce import faults
+
 #: Smallest accepted memory budget: tiny budgets still need one block
 #: per run resident during merges.
 MIN_MEMORY_BYTES = 4096
@@ -223,6 +225,10 @@ class ExternalCodeCounter:
         codes, values = self._drain_pending()
         if codes.size == 0:
             return
+        # Chaos-harness hook: scripted ENOSPC on the spill path proves
+        # the job-level retry/backoff machinery recovers from a full
+        # disk exactly like a crashed worker.
+        faults.hit_fault_point("spill.write")
         # The buffer is sorted, so bucket boundaries are one
         # searchsorted over the bucket edges.
         edges = (

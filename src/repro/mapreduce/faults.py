@@ -19,11 +19,14 @@ attempt, in the worker process and in the parent alike.
 
 from __future__ import annotations
 
+import errno
 import os
+import signal
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Any
+from functools import lru_cache
+from typing import Any, Mapping
 
 from .types import MapReduceTask
 
@@ -175,3 +178,119 @@ class _FaultyFunc:
         if corrupt:
             return [(k, CORRUPTED) for k, _ in out]
         return out
+
+
+# -- process-level fault points (PR-6 chaos harness) --------------------------
+#
+# The in-process :class:`FaultPlan` above injects faults *inside* a
+# mapper/reducer.  The durable job service needs a harsher fault model:
+# the whole worker process dies (``kill -9``) or an artifact write hits
+# ``ENOSPC`` at an exact, scripted instant.  Process-level fault points
+# carry that plan through the environment so it survives ``exec`` into
+# a real ``python -m repro serve`` subprocess:
+#
+#     REPRO_FAULT_POINTS="service.block=kill@2;artifact.write=enospc@1"
+#
+# Each named point keeps a per-process hit counter; a spec fires when
+# its point's counter reaches exactly ``hit`` (``@*`` fires on every
+# hit — only meaningful for ``sleep``).  Decisions are a pure function
+# of (env plan, hit count), so every chaos schedule is reproducible.
+
+#: Environment variable carrying the process-level fault plan.
+FAULT_POINTS_ENV = "REPRO_FAULT_POINTS"
+
+#: Seconds slept by ``sleep`` fault points (stretches job runtime so
+#: chaos tests can land signals deterministically mid-run).
+SLEEP_POINT_SECONDS = 0.05
+
+_POINT_ACTIONS = ("kill", "enospc", "raise", "sleep")
+
+#: point name -> hits so far in this process.
+_POINT_HITS: dict[str, int] = {}
+
+
+@dataclass(frozen=True)
+class ProcessFaultSpec:
+    """One scripted process-level fault.
+
+    ``point``
+        Name of the fault point (e.g. ``service.before_commit``).
+    ``action``
+        ``"kill"`` — SIGKILL this process (the chaos-test hammer: no
+        handlers, no cleanup, exactly what a ``kill -9`` or OOM does);
+        ``"enospc"`` — raise ``OSError(ENOSPC)``;
+        ``"raise"`` — raise :class:`InjectedFault`;
+        ``"sleep"`` — sleep :data:`SLEEP_POINT_SECONDS` and continue.
+    ``hit``
+        1-based hit index the spec fires on; ``None`` means every hit.
+    """
+
+    point: str
+    action: str
+    hit: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in _POINT_ACTIONS:
+            raise ValueError(f"unknown fault-point action {self.action!r}")
+
+
+@lru_cache(maxsize=8)
+def parse_fault_points(text: str) -> tuple[ProcessFaultSpec, ...]:
+    """Parse a ``point=action@hit;...`` plan string (cached per text)."""
+    specs: list[ProcessFaultSpec] = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        point, sep, rest = part.partition("=")
+        if not sep or not point.strip():
+            raise ValueError(f"malformed fault point {part!r}")
+        action, sep, hit_text = rest.partition("@")
+        hit: int | None = 1
+        if sep:
+            hit = None if hit_text.strip() == "*" else int(hit_text)
+        if hit is not None and hit < 1:
+            raise ValueError(f"fault-point hit must be >= 1, got {hit}")
+        specs.append(
+            ProcessFaultSpec(point=point.strip(), action=action.strip(), hit=hit)
+        )
+    return tuple(specs)
+
+
+def reset_fault_points() -> None:
+    """Clear this process's hit counters (test isolation)."""
+    _POINT_HITS.clear()
+
+
+def hit_fault_point(
+    point: str, env: Mapping[str, str] | None = None
+) -> None:
+    """Mark one hit of ``point``, firing any scripted fault on it.
+
+    A no-op (not even counted) when no plan is configured, so
+    production code can call fault points unconditionally.
+    """
+    plan_text = (os.environ if env is None else env).get(FAULT_POINTS_ENV)
+    if not plan_text:
+        return
+    specs = parse_fault_points(plan_text)
+    if not any(s.point == point for s in specs):
+        return
+    n = _POINT_HITS.get(point, 0) + 1
+    _POINT_HITS[point] = n
+    for spec in specs:
+        if spec.point != point or (spec.hit is not None and spec.hit != n):
+            continue
+        if spec.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif spec.action == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC at fault point {point!r} (hit {n})",
+            )
+        elif spec.action == "raise":
+            raise InjectedFault(
+                f"injected fault at point {point!r} (hit {n})"
+            )
+        elif spec.action == "sleep":
+            time.sleep(SLEEP_POINT_SECONDS)

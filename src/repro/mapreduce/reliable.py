@@ -187,8 +187,16 @@ def _execute_phase(
     phase: str,
     skip_fn: Callable,
     on_item_done: Callable[[int], None] | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> list:
-    """Run every item through ``worker_fn`` with recovery; ordered results."""
+    """Run every item through ``worker_fn`` with recovery; ordered results.
+
+    ``should_stop`` is the graceful-shutdown hook: it is consulted at
+    item boundaries only, so the item in flight always completes (is
+    "drained") before the phase aborts with ``KeyboardInterrupt`` —
+    which the REP401 contract guarantees propagates through every
+    enclosing handler.
+    """
     futures: dict[int, tuple | None] = {}
     if pool is not None:
         for i, item in enumerate(items):
@@ -203,6 +211,12 @@ def _execute_phase(
                 futures[i] = None
     results = []
     for i, item in enumerate(items):
+        if should_stop is not None and should_stop():
+            counters.incr("chunks_drained", i)
+            raise KeyboardInterrupt(
+                f"shutdown requested; drained {i}/{len(items)} "
+                f"{phase} task(s)"
+            )
         results.append(
             _run_item(
                 worker_fn, task, item, i, policy, counters, pool, phase,

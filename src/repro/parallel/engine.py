@@ -25,7 +25,12 @@ processes over contiguous read chunks:
   as ``skipped_reads``;
 - ``workers=1`` (or a platform without fork, or fewer chunks than
   would benefit) runs the same chunk loop serially in-process — same
-  code path, same counters, no pool.
+  code path, same counters, no pool;
+- SIGTERM/SIGINT during the chunk loop are handled gracefully: the
+  chunk in flight is drained, a ``shutdown.requested`` metric is
+  recorded, and ``KeyboardInterrupt`` is raised at the next chunk
+  boundary (never mid-chunk), per the REP401 re-raise contract.  A
+  second signal aborts immediately.
 
 Any corrector exposing ``correct_chunk(reads) -> (ReadSet, dict)``
 with per-read-independent semantics can be driven by this engine;
@@ -36,7 +41,10 @@ with per-read-independent semantics can be driven by this engine;
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,6 +65,56 @@ class _BatchTask:
     besides the chunk bounds)."""
 
     name: str
+
+
+class _ShutdownFlag:
+    """Latch set by a deferred SIGTERM/SIGINT; callable for the
+    ``should_stop`` hook of the chunk loop."""
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: int | None = None
+
+    def __call__(self) -> bool:
+        return self.requested
+
+
+@contextmanager
+def _graceful_signals(counters: Counters):
+    """Defer SIGTERM/SIGINT to chunk boundaries for the enclosed scope.
+
+    The first signal records a ``shutdown.requested`` metric and arms
+    the returned :class:`_ShutdownFlag`; the chunk loop then finishes
+    (drains) the chunk in flight and raises ``KeyboardInterrupt`` at
+    the next boundary — never mid-chunk, so no partially corrected
+    block is ever observable.  A second signal aborts immediately (the
+    escape hatch for a wedged chunk).  Outside the main thread — where
+    handlers cannot be installed — the flag simply never arms and
+    behavior is unchanged.  Previous handlers are always restored.
+    """
+    flag = _ShutdownFlag()
+
+    def _handler(signum, frame):
+        if flag.requested:
+            raise KeyboardInterrupt(
+                f"second signal {signum}; aborting immediately"
+            )
+        flag.requested = True
+        flag.signum = signum
+        counters.incr("shutdown.requested")
+
+    previous: dict[int, object] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+    try:
+        yield flag
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _call_chunk(corrector, reads: ReadSet) -> tuple[ReadSet, dict]:
@@ -275,10 +333,11 @@ def correct_in_parallel(
         try:
             if use_pool:
                 pool = _PoolManager(workers)
-            results = _execute_phase(
-                _chunk_attempt, task, bounds, policy, counters, pool,
-                "correct", _skip_chunk,
-            )
+            with _graceful_signals(counters) as stop_flag:
+                results = _execute_phase(
+                    _chunk_attempt, task, bounds, policy, counters, pool,
+                    "correct", _skip_chunk, should_stop=stop_flag,
+                )
         finally:
             if pool is not None:
                 pool.shutdown()

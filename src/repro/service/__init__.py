@@ -1,0 +1,44 @@
+"""Durable correction job service.
+
+A crash-safe way to run correction work: jobs live in a WAL-mode
+SQLite store (:mod:`~repro.service.store`), workers claim them under
+renewable leases (:mod:`~repro.service.worker`), execute them through
+the same Corrector/streaming engines as ``repro correct``
+(:mod:`~repro.service.runner`), and publish artifacts atomically.  A
+worker killed at *any* instant — ``kill -9`` included — loses at most
+the work since its last durable checkpoint; the job is reclaimed
+after its lease lapses and the retry produces byte-identical output.
+
+CLI surfaces: ``python -m repro serve`` (:mod:`~repro.service.serve`)
+and ``python -m repro jobs`` (:mod:`~repro.service.cli`).  See
+``docs/service.md`` for the state machine and operational guide.
+"""
+
+from .spec import JobSpec
+from .store import (
+    CANCELLED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    STATES,
+    SUCCEEDED,
+    JobRecord,
+    JobStore,
+    LeaseLost,
+)
+from .worker import DB_NAME, ServeWorker
+
+__all__ = [
+    "JobSpec",
+    "JobStore",
+    "JobRecord",
+    "LeaseLost",
+    "ServeWorker",
+    "DB_NAME",
+    "STATES",
+    "PENDING",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "CANCELLED",
+]

@@ -1,0 +1,185 @@
+"""``repro jobs`` — submit and operate on durable correction jobs.
+
+The operator surface of the service::
+
+    python -m repro jobs --spool spool/ submit in.fastq out.fastq \\
+        --stream --workers 4 --max-attempts 5
+    python -m repro jobs --spool spool/ list
+    python -m repro jobs --spool spool/ status job-000001 --json
+    python -m repro jobs --spool spool/ retry job-000001
+    python -m repro jobs --spool spool/ cancel job-000002
+
+``submit`` mirrors the ``repro correct`` flag surface (a job spec *is*
+a serialized correct invocation); the remaining verbs are thin,
+scriptable wrappers over single store transactions, so they are safe
+to run while workers are live.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..core.api import available_methods
+from ..tools.common import memory_size
+from .spec import JobSpec
+from .store import STATES, JobRecord, JobStore
+from .worker import DB_NAME
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-jobs",
+        description="Operate the durable correction job queue.",
+    )
+    p.add_argument(
+        "--spool", type=Path, required=True,
+        help="spool directory holding the job store",
+    )
+    sub = p.add_subparsers(dest="verb", required=True)
+
+    s = sub.add_parser("submit", help="enqueue one correction job")
+    s.add_argument("input", help="input FASTQ")
+    s.add_argument("output", help="corrected FASTQ destination")
+    s.add_argument("--method", choices=available_methods(),
+                   default="reptile")
+    s.add_argument("--k", type=int, default=None)
+    s.add_argument("--genome-length", type=int, default=None)
+    s.add_argument("--workers", type=int, default=1)
+    s.add_argument("--chunk-size", type=int, default=2048)
+    s.add_argument("--stream", action="store_true",
+                   help="out-of-core three-pass correction with "
+                        "block-granular crash recovery")
+    s.add_argument("--max-memory", type=memory_size, default=None,
+                   metavar="SIZE")
+    s.add_argument("--on-error", choices=["raise", "skip"],
+                   default="raise")
+    s.add_argument("--report", default=None,
+                   help="write a repro-run-report/1 JSON here on finish")
+    s.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts before the job fails for good")
+    s.add_argument("--label", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="free-form label (repeatable)")
+
+    g = sub.add_parser("status", help="show one job")
+    g.add_argument("job_id")
+    g.add_argument("--json", action="store_true")
+
+    ls = sub.add_parser("list", help="list jobs (optionally by state)")
+    ls.add_argument("--state", choices=list(STATES), default=None)
+    ls.add_argument("--json", action="store_true")
+
+    r = sub.add_parser("retry", help="requeue a failed/cancelled job")
+    r.add_argument("job_id")
+
+    c = sub.add_parser("cancel", help="cancel a pending/running job")
+    c.add_argument("job_id")
+    return p
+
+
+def _parse_labels(pairs: list[str]) -> dict:
+    labels = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--label must be KEY=VALUE, got {pair!r}")
+        labels[key] = value
+    return labels
+
+
+def _render(record: JobRecord) -> str:
+    lease = ""
+    if record.lease_owner:
+        lease = f" lease={record.lease_owner}"
+    err = f" error={record.error!r}" if record.error else ""
+    return (
+        f"{record.id}  {record.state:<9s} "
+        f"attempt {record.attempts}/{record.max_attempts}{lease}{err}  "
+        f"{record.spec.input} -> {record.spec.output}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(argv)
+    with JobStore(Path(args.spool) / DB_NAME) as store:
+        return _dispatch(args, store)
+
+
+def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
+    if args.verb == "submit":
+        spec = JobSpec(
+            input=args.input,
+            output=args.output,
+            method=args.method,
+            k=args.k,
+            genome_length=args.genome_length,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            stream=args.stream or args.max_memory is not None,
+            max_memory=args.max_memory,
+            on_error=args.on_error,
+            report=args.report,
+            labels=_parse_labels(args.label),
+        )
+        job_id = store.submit(spec, max_attempts=args.max_attempts)
+        print(job_id)
+        return 0
+
+    if args.verb == "status":
+        record = store.get(args.job_id)
+        if record is None:
+            print(f"no such job: {args.job_id}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(record.as_dict(), indent=2, sort_keys=True))
+        else:
+            print(_render(record))
+        return 0
+
+    if args.verb == "list":
+        records = store.list_jobs(state=args.state)
+        if args.json:
+            print(json.dumps(
+                [r.as_dict() for r in records], indent=2, sort_keys=True
+            ))
+        else:
+            for record in records:
+                print(_render(record))
+            counts = store.counts()
+            print(
+                "totals: "
+                + " ".join(f"{s}={n}" for s, n in counts.items() if n)
+            )
+        return 0
+
+    if args.verb == "retry":
+        if not store.retry(args.job_id):
+            print(
+                f"{args.job_id}: not retryable (must exist and be "
+                "failed/cancelled)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.job_id} requeued")
+        return 0
+
+    if args.verb == "cancel":
+        if not store.cancel(args.job_id):
+            print(
+                f"{args.job_id}: not cancellable (must exist and be "
+                "pending/running)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.job_id} cancelled")
+        return 0
+
+    raise AssertionError(f"unhandled verb {args.verb!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

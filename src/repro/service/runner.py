@@ -1,0 +1,342 @@
+"""Execute one claimed correction job, crash-safely.
+
+The runner is the bridge between the durable job store and the
+correction engines: it takes a claimed :class:`~repro.service.store.
+JobRecord`, runs its :class:`~repro.service.spec.JobSpec` through the
+:mod:`repro.core.api` registry (batch) or the streamed three-pass
+pipeline (``stream=True``, mirroring ``repro correct --stream``), and
+returns the result payload recorded on the job row.
+
+Crash-safety contract (at-least-once execution, exactly-once output):
+
+- **Batch jobs** publish their one artifact through
+  :func:`repro.io.fastq.write_fastq`'s atomic path — a kill at any
+  instant leaves either no output or the complete output, and a rerun
+  rewrites identical bytes (correction is deterministic).
+- **Stream jobs** write corrected blocks to a *partial* file inside
+  the job's work directory, fsync it, then atomically record a
+  checkpoint (``reads done``, durable byte offset, running counters,
+  spec+input fingerprint).  A restarted attempt recomputes phase 1
+  deterministically, truncates the partial to the last durable
+  offset, skips the already-corrected reads, and continues — the
+  final :func:`~repro.io.atomic.publish_file` rename yields bytes
+  identical to an uninterrupted run.  A checkpoint whose fingerprint
+  does not match the current spec/input is ignored, never spliced.
+
+Scripted kill points (``REPRO_FAULT_POINTS``, see
+:mod:`repro.mapreduce.faults`) pepper the hot path so the chaos suite
+can SIGKILL a real worker at every interesting instant:
+``service.claimed``, ``service.fitted``, ``service.block``,
+``service.before_commit`` — plus ``service.before_finish`` hit by the
+worker between artifact commit and the store's ``finish`` transition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable
+
+from .. import telemetry
+from ..core.api import build_corrector, supports_chunking
+from ..io.atomic import atomic_write_json, publish_file
+from ..io.fastq import read_fastq, read_fastq_chunks, write_fastq
+from ..mapreduce.faults import hit_fault_point
+from .spec import JobSpec
+from .store import JobRecord
+
+#: Name of the crash-safe partial output inside a job's work dir.
+PARTIAL_NAME = "partial.fastq"
+#: Name of the atomic resume checkpoint next to the partial.
+CHECKPOINT_NAME = "checkpoint.json"
+
+
+def job_workdir(spool: str | Path, job_id: str) -> Path:
+    """Per-job scratch directory under the spool (partial + checkpoint)."""
+    return Path(spool) / "work" / job_id
+
+
+def execute_job(
+    record: JobRecord,
+    workdir: str | Path,
+    tick: Callable[[], None] | None = None,
+) -> dict:
+    """Run one claimed job to completion; returns the result payload.
+
+    ``tick`` is the worker's heartbeat hook, called between blocks and
+    phases: it renews the store lease and is the single place where
+    :class:`~repro.service.store.LeaseLost` (abandon now, another
+    worker owns the job) or ``KeyboardInterrupt`` (graceful shutdown;
+    the last checkpoint is already durable) may be raised.
+    """
+    spec = record.spec
+    spec.validate()
+    hit_fault_point("service.claimed")
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    tel = None
+    try:
+        with telemetry.session("serve") as tel:
+            telemetry.gauge("job_attempt", record.attempts)
+            if spec.stream:
+                result = _run_stream_job(spec, workdir, tick)
+            else:
+                result = _run_batch_job(spec, tick)
+    finally:
+        if tel is not None and spec.report:
+            tel.report().write(spec.report)
+    return result
+
+
+def _tick(tick: Callable[[], None] | None) -> None:
+    if tick is not None:
+        tick()
+
+
+def _run_batch_job(spec: JobSpec, tick: Callable[[], None] | None) -> dict:
+    """In-memory correction; the single output write is atomic."""
+    from ..parallel import correct_in_parallel
+
+    error_counts: dict = {}
+    with telemetry.span("read_input", path=spec.input):
+        reads = read_fastq(
+            spec.input, on_error=spec.on_error, error_counts=error_counts
+        )
+    telemetry.gauge("reads_input", reads.n_reads)
+    _tick(tick)
+    with telemetry.span("fit", method=spec.method):
+        corrector = build_corrector(
+            spec.method, reads, k=spec.k, genome_length=spec.genome_length
+        )
+    hit_fault_point("service.fitted")
+    _tick(tick)
+    with telemetry.span("correct", method=spec.method):
+        if supports_chunking(corrector):
+            report = correct_in_parallel(
+                corrector,
+                reads,
+                workers=spec.workers,
+                chunk_size=spec.chunk_size,
+            )
+            corrected = report.reads
+        else:
+            corrected = corrector.correct(reads)
+    _tick(tick)
+    n_changed = int((corrected.codes != reads.codes).sum())
+    hit_fault_point("service.before_commit")
+    with telemetry.span("write_output", path=spec.output):
+        write_fastq(corrected, spec.output)
+    telemetry.gauge("bases_changed", n_changed)
+    return {
+        "reads": int(reads.n_reads),
+        "bases_changed": n_changed,
+        "resumed_reads": 0,
+        **{k: int(v) for k, v in error_counts.items()},
+    }
+
+
+def _load_checkpoint(workdir: Path, fingerprint: str) -> dict | None:
+    """The durable resume point, or ``None`` to start from scratch.
+
+    Invalid checkpoints (missing partial, stale fingerprint, offset
+    beyond the durable bytes) are discarded, not repaired: correctness
+    comes from recomputing, never from splicing mismatched state.
+    """
+    ckpt_path = workdir / CHECKPOINT_NAME
+    partial = workdir / PARTIAL_NAME
+    if not ckpt_path.is_file() or not partial.is_file():
+        return None
+    try:
+        with open(ckpt_path, "rt", encoding="utf-8") as fh:
+            ckpt = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(ckpt, dict) or ckpt.get("fingerprint") != fingerprint:
+        return None
+    offset = ckpt.get("byte_offset", 0)
+    if not isinstance(offset, int) or offset < 0:
+        return None
+    if partial.stat().st_size < offset:
+        return None
+    return ckpt
+
+
+def _run_stream_job(
+    spec: JobSpec, workdir: Path, tick: Callable[[], None] | None
+) -> dict:
+    """Out-of-core correction with block-granular crash recovery.
+
+    Mirrors ``repro correct --stream`` (pass A statistics, pass B
+    phase-1 structures, pass C chunked correction) but stages output
+    through ``workdir/partial.fastq`` with an atomic checkpoint after
+    every durable block, then publishes with one rename.
+    """
+    import numpy as np
+
+    from ..core.reptile import ReptileCorrector
+    from ..core.reptile.params import (
+        add_histograms,
+        quality_histogram,
+        select_parameters_streaming,
+    )
+    from ..kmer.streaming import (
+        SpectrumAccumulator,
+        TileAccumulator,
+        build_from_chunks,
+    )
+    from ..parallel import correct_stream
+
+    block_reads = spec.chunk_size * spec.workers
+    fingerprint = spec.fingerprint()
+    partial = workdir / PARTIAL_NAME
+    ckpt_path = workdir / CHECKPOINT_NAME
+
+    def chunks(error_counts=None):
+        return read_fastq_chunks(
+            spec.input,
+            block_reads,
+            on_error=spec.on_error,
+            error_counts=error_counts,
+        )
+
+    # Pass A — streamed parameter statistics (always recomputed: it is
+    # deterministic and cheap relative to keeping it crash-safe).
+    qhist = np.zeros(0, dtype=np.int64)
+    n_reads = 0
+    with telemetry.span("stream.scan", path=spec.input):
+        for chunk in chunks():
+            qhist = add_histograms(qhist, quality_histogram(chunk))
+            n_reads += chunk.n_reads
+    telemetry.gauge("reads_input", n_reads)
+    _tick(tick)
+
+    # Pass B — phase-1 spectrum/tiles, same select-then-replace
+    # semantics as the CLI streaming path.
+    sel_params = select_parameters_streaming(
+        qhist, np.zeros(0, dtype=np.int64),
+        genome_length_estimate=spec.genome_length,
+    )
+    k_final = spec.k if spec.k is not None else sel_params.k
+    with telemetry.span("fit", method=spec.method, k=k_final):
+        spec_acc = SpectrumAccumulator(
+            k_final, max_memory_bytes=spec.max_memory, tmp_dir=workdir
+        )
+        accs = [spec_acc]
+        sel_tiles_acc = TileAccumulator(
+            sel_params.k,
+            overlap=sel_params.overlap,
+            quality_cutoff=sel_params.qc,
+            max_memory_bytes=spec.max_memory,
+            tmp_dir=workdir,
+        )
+        accs.append(sel_tiles_acc)
+        final_tiles_acc = sel_tiles_acc
+        if k_final != sel_params.k:
+            final_tiles_acc = TileAccumulator(
+                k_final,
+                overlap=sel_params.overlap,
+                quality_cutoff=sel_params.qc,
+                max_memory_bytes=spec.max_memory,
+                tmp_dir=workdir,
+            )
+            accs.append(final_tiles_acc)
+        with telemetry.span("stream.phase1"):
+            results = build_from_chunks(chunks(), accs)
+        spectrum = results[0]
+        sel_tiles = results[1]
+        tiles = results[accs.index(final_tiles_acc)]
+        params = select_parameters_streaming(
+            qhist, sel_tiles.og, genome_length_estimate=spec.genome_length
+        )
+        if spec.k is not None:
+            from dataclasses import replace
+
+            params = replace(params, k=spec.k)
+        corrector = ReptileCorrector(
+            params=params, spectrum=spectrum, tiles=tiles
+        )
+    hit_fault_point("service.fitted")
+    _tick(tick)
+
+    # Pass C — chunked correction resuming from the last durable block.
+    ckpt = _load_checkpoint(workdir, fingerprint)
+    reads_done = ckpt["reads_done"] if ckpt else 0
+    byte_offset = ckpt["byte_offset"] if ckpt else 0
+    n_changed = ckpt.get("bases_changed", 0) if ckpt else 0
+    if ckpt:
+        os.truncate(partial, byte_offset)
+        telemetry.count("checkpoint_resumes")
+        telemetry.gauge("resumed_reads", reads_done)
+
+    def remaining_blocks(error_counts):
+        """Skip the blocks a prior attempt already made durable.
+
+        Block boundaries are a pure function of (input, block_reads),
+        so skipping whole blocks up to the checkpointed read count
+        lands exactly where the prior attempt stopped; any mismatch
+        means the checkpoint is stale and the job restarts cleanly.
+        """
+        skipped = 0
+        for block in chunks(error_counts):
+            if skipped < reads_done:
+                if skipped + block.n_reads > reads_done:
+                    raise RuntimeError(
+                        f"checkpoint read count {reads_done} is not on a "
+                        f"block boundary (block of {block.n_reads} after "
+                        f"{skipped}); refusing to splice"
+                    )
+                skipped += block.n_reads
+                continue
+            yield block
+
+    error_counts: dict = {}
+    n_out = reads_done
+    with telemetry.span("correct", method=spec.method, stream=True):
+        # Append mode: a fresh attempt starts at offset 0 (file absent
+        # or truncated above), a resumed one continues after the last
+        # durable block.
+        with open(partial, "at", encoding="utf-8") as out_handle:
+            if out_handle.tell() != byte_offset:
+                raise RuntimeError(
+                    f"partial output at {out_handle.tell()} bytes, "
+                    f"checkpoint says {byte_offset}; refusing to splice"
+                )
+            for block, report in correct_stream(
+                corrector,
+                remaining_blocks(error_counts),
+                workers=spec.workers,
+                chunk_size=spec.chunk_size,
+            ):
+                n_changed += int((report.reads.codes != block.codes).sum())
+                n_out += block.n_reads
+                write_fastq(report.reads, out_handle)
+                out_handle.flush()
+                os.fsync(out_handle.fileno())
+                # Checkpoint only after the bytes are durable, so the
+                # recorded offset never points past what a crash
+                # preserves.
+                atomic_write_json(
+                    ckpt_path,
+                    {
+                        "fingerprint": fingerprint,
+                        "reads_done": n_out,
+                        "byte_offset": out_handle.tell(),
+                        "bases_changed": n_changed,
+                    },
+                )
+                hit_fault_point("service.block")
+                _tick(tick)
+
+    resumed = reads_done
+    hit_fault_point("service.before_commit")
+    with telemetry.span("write_output", path=spec.output):
+        publish_file(partial, spec.output)
+    ckpt_path.unlink(missing_ok=True)
+    telemetry.gauge("bases_changed", n_changed)
+    return {
+        "reads": int(n_out),
+        "bases_changed": int(n_changed),
+        "resumed_reads": int(resumed),
+        **{k: int(v) for k, v in error_counts.items()},
+    }

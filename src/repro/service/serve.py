@@ -1,0 +1,74 @@
+"""``repro serve`` — run a correction worker over a spool directory.
+
+Start one (or several — they coordinate through the spool's SQLite
+store) worker processes::
+
+    python -m repro serve --spool spool/
+    python -m repro serve --spool spool/ --idle-exit      # drain & stop
+    python -m repro serve --spool spool/ --max-jobs 1     # one job
+
+Submit and inspect work with ``python -m repro jobs`` (see
+:mod:`repro.service.cli`).  SIGTERM/SIGINT stop the worker gracefully:
+it finishes the chunk in flight, checkpoints streaming jobs, releases
+its lease, and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .worker import ServeWorker
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Durable correction job worker (lease-based claiming).",
+    )
+    p.add_argument(
+        "--spool", type=Path, required=True,
+        help="spool directory holding the job store and per-job work dirs",
+    )
+    p.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    p.add_argument(
+        "--lease-seconds", type=float, default=30.0,
+        help="claim lease duration; heartbeats renew at a third of this",
+    )
+    p.add_argument(
+        "--poll-seconds", type=float, default=0.2,
+        help="idle sleep between empty claim attempts",
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after completing this many jobs",
+    )
+    p.add_argument(
+        "--idle-exit", action="store_true",
+        help="exit once no pending or running jobs remain "
+             "(instead of polling forever)",
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(argv)
+    worker = ServeWorker(
+        args.spool,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+    )
+    try:
+        return worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)
+    finally:
+        worker.store.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

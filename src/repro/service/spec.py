@@ -1,0 +1,113 @@
+"""Job specifications: what one durable correction job should do.
+
+A :class:`JobSpec` is the JSON payload stored in the job store's
+``spec`` column — everything the serve worker needs to run one
+correction through the :mod:`repro.core.api` registry, and nothing
+about *how* the run is scheduled (states, attempts, and leases belong
+to :mod:`repro.service.store`).  Specs are deliberately plain data:
+a job submitted today must still execute after a daemon restart, a
+code upgrade, or on a different worker host sharing the spool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: The only job kind today; the field exists so periodic-ingest or
+#: cluster jobs can join the same store without a schema change.
+KIND_CORRECT = "correct"
+
+_VALID_ON_ERROR = ("raise", "skip")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One correction job: input FASTQ -> corrected FASTQ (+ report).
+
+    Mirrors the ``repro correct`` CLI surface so ``repro jobs submit``
+    and a direct command line describe identical work.
+    """
+
+    input: str
+    output: str
+    kind: str = KIND_CORRECT
+    method: str = "reptile"
+    k: int | None = None
+    genome_length: int | None = None
+    workers: int = 1
+    chunk_size: int = 2048
+    stream: bool = False
+    max_memory: int | None = None
+    on_error: str = "raise"
+    #: Optional repro-run-report/1 JSON artifact path.
+    report: str | None = None
+    #: Free-form labels (tenant, experiment id, ...) carried verbatim.
+    labels: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind != KIND_CORRECT:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if not self.input or not self.output:
+            raise ValueError("job spec needs both input and output paths")
+        if self.on_error not in _VALID_ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_VALID_ON_ERROR}, "
+                f"got {self.on_error!r}"
+            )
+        if self.workers < 1 or self.chunk_size < 1:
+            raise ValueError("workers and chunk_size must be >= 1")
+        if self.stream and self.method != "reptile":
+            raise ValueError(
+                f"stream jobs support the reptile method only "
+                f"(got {self.method!r})"
+            )
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"unknown job-spec field(s): {', '.join(sorted(unknown))}"
+            )
+        spec = cls(**d)
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("job spec JSON must be an object")
+        return cls.from_dict(data)
+
+    # -- identity -----------------------------------------------------
+    def fingerprint(self) -> str:
+        """Spec + input-content hash: the resume key for checkpoints.
+
+        A checkpoint written for one (spec, input bytes) pair must
+        never seed the resume of a different one — a changed input
+        file or flag silently producing a spliced output would violate
+        the byte-identical guarantee.  Missing inputs hash as absent
+        (the job will fail with a clear error at run time instead).
+        """
+        h = hashlib.sha256(self.to_json().encode("utf-8"))
+        path = Path(self.input)
+        if path.is_file():
+            with open(path, "rb") as fh:
+                while True:
+                    block = fh.read(1 << 20)
+                    if not block:
+                        break
+                    h.update(block)
+        return h.hexdigest()

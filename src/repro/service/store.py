@@ -1,0 +1,463 @@
+"""Crash-safe SQLite job store with lease-based claiming.
+
+The durable core of the correction service (the py_experimenter /
+elogfetch pattern: the database *is* the coordination protocol).  One
+WAL-mode SQLite file holds every job; workers on any process — or any
+host sharing the spool directory — coordinate exclusively through
+short ``BEGIN IMMEDIATE`` transactions, so there is no daemon to lose
+state when a worker dies.
+
+Job lifecycle::
+
+                 submit            claim(worker)
+    (new) ───────────────▶ pending ─────────────▶ running ──▶ succeeded
+              retry ▲          ▲                  │   │
+                    │          │ lease expired /  │   └─────▶ failed
+       failed/cancelled        │ fail_attempt     │  (attempts
+                    ▲          │ (backoff+jitter) │   exhausted)
+                    └──────────┴──────────────────┘
+                               cancel at any point ──▶ cancelled
+
+Claiming is lease-based: ``claim`` marks a job ``running`` with a
+``lease_expires`` deadline the worker must keep pushing forward via
+:meth:`JobStore.renew`.  A worker that is ``kill -9``'d simply stops
+renewing; once the lease lapses, any claimer reaps the job back to
+``pending`` with an exponential-backoff-plus-jitter ``not_before``
+gate (the injectable-Random :class:`~repro.mapreduce.types.RetryPolicy`
+pattern, so every retry schedule is reproducible).  Attempts are
+counted at claim time; a job that keeps losing its lease fails after
+``max_attempts`` with a diagnosable error instead of looping forever.
+
+Durability: WAL journal + ``synchronous=FULL`` means a torn process
+leaves the store at the last committed transition — at worst a job
+re-runs, and artifacts are atomic/idempotent, so at-least-once
+execution still yields byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from ..mapreduce.types import RetryPolicy
+from .spec import JobSpec
+
+#: Job states (the full set the CLI and docs enumerate).
+PENDING = "pending"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+
+#: States with no further transitions (except an explicit ``retry``).
+TERMINAL_STATES = (SUCCEEDED, FAILED, CANCELLED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    spec          TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    not_before    REAL NOT NULL DEFAULT 0,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    error         TEXT,
+    result        TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, not_before);
+"""
+
+
+class LeaseLost(RuntimeError):
+    """This worker no longer owns the job (lease reaped or cancelled)."""
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the jobs table, spec decoded."""
+
+    id: str
+    spec: JobSpec
+    state: str
+    attempts: int
+    max_attempts: int
+    not_before: float
+    lease_owner: str | None
+    lease_expires: float | None
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    error: str | None
+    result: dict | None
+
+    def as_dict(self) -> dict:
+        d = {
+            "id": self.id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "not_before": self.not_before,
+            "lease_owner": self.lease_owner,
+            "lease_expires": self.lease_expires,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "result": self.result,
+            "spec": self.spec.to_dict(),
+        }
+        return d
+
+
+def _record_from_row(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        id=row["id"],
+        spec=JobSpec.from_json(row["spec"]),
+        state=row["state"],
+        attempts=row["attempts"],
+        max_attempts=row["max_attempts"],
+        not_before=row["not_before"],
+        lease_owner=row["lease_owner"],
+        lease_expires=row["lease_expires"],
+        submitted_at=row["submitted_at"],
+        started_at=row["started_at"],
+        finished_at=row["finished_at"],
+        error=row["error"],
+        result=json.loads(row["result"]) if row["result"] else None,
+    )
+
+
+class JobStore:
+    """Lease-claimed job queue over one WAL-mode SQLite file.
+
+    ``clock`` is injectable (tests pin it to a fake clock to step
+    leases deterministically); it defaults to the wall clock because
+    leases must be comparable across independent worker processes.
+    ``backoff`` shapes the retry schedule for reaped/failed attempts;
+    jitter comes from the policy's deterministic per-(seed, attempt,
+    salt) ``random.Random``, never from global RNG state.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        clock: Callable[[], float] = time.time,
+        backoff: RetryPolicy | None = None,
+        busy_timeout: float = 30.0,
+    ) -> None:
+        self.path = Path(path)
+        if str(self.path.parent) not in ("", "."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._backoff = backoff if backoff is not None else RetryPolicy(
+            backoff_base=0.5, backoff_factor=2.0, backoff_jitter=0.25
+        )
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=busy_timeout, isolation_level=None
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=FULL")
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One IMMEDIATE (write-locked) transaction."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    # -- submission ---------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        max_attempts: int = 3,
+        job_id: str | None = None,
+    ) -> str:
+        """Insert a new ``pending`` job; returns its id."""
+        spec.validate()
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        now = self._clock()
+        with self._txn() as conn:
+            if job_id is None:
+                row = conn.execute(
+                    "SELECT COALESCE(MAX(rowid), 0) + 1 AS n FROM jobs"
+                ).fetchone()
+                job_id = f"job-{int(row['n']):06d}"
+            conn.execute(
+                "INSERT INTO jobs (id, spec, state, attempts, max_attempts,"
+                " not_before, submitted_at) VALUES (?, ?, ?, 0, ?, 0, ?)",
+                (job_id, spec.to_json(), PENDING, max_attempts, now),
+            )
+        return job_id
+
+    # -- claiming and leases ------------------------------------------
+    def _backoff_seconds(self, job_id: str, attempt: int) -> float:
+        # Salted by the job id so concurrent retrying jobs do not
+        # thundering-herd the store on identical schedules.
+        salt = zlib.crc32(job_id.encode("utf-8"))
+        return self._backoff.backoff_seconds(max(1, attempt), salt=salt)
+
+    def _reap_expired(self, conn: sqlite3.Connection, now: float) -> int:
+        """Requeue (or fail) every running job whose lease has lapsed.
+
+        Runs inside the claim transaction, so reaping and claiming are
+        one atomic decision.  Returns the number of reaped jobs.
+        """
+        rows = conn.execute(
+            "SELECT id, attempts, max_attempts FROM jobs"
+            " WHERE state = ? AND lease_expires IS NOT NULL"
+            " AND lease_expires <= ? ORDER BY id",
+            (RUNNING, now),
+        ).fetchall()
+        for row in rows:
+            if row["attempts"] >= row["max_attempts"]:
+                conn.execute(
+                    "UPDATE jobs SET state = ?, lease_owner = NULL,"
+                    " lease_expires = NULL, finished_at = ?, error = ?"
+                    " WHERE id = ?",
+                    (
+                        FAILED,
+                        now,
+                        f"lease expired after {row['attempts']} attempt(s);"
+                        " attempts exhausted",
+                        row["id"],
+                    ),
+                )
+            else:
+                delay = self._backoff_seconds(row["id"], row["attempts"])
+                conn.execute(
+                    "UPDATE jobs SET state = ?, lease_owner = NULL,"
+                    " lease_expires = NULL, not_before = ?,"
+                    " error = ? WHERE id = ?",
+                    (
+                        PENDING,
+                        now + delay,
+                        f"lease expired on attempt {row['attempts']};"
+                        f" requeued with {delay:.3f}s backoff",
+                        row["id"],
+                    ),
+                )
+        return len(rows)
+
+    def claim(
+        self, worker_id: str, lease_seconds: float = 60.0
+    ) -> JobRecord | None:
+        """Atomically claim the oldest runnable job, or ``None``.
+
+        Exactly one concurrent claimer can win any given job: the
+        SELECT and UPDATE share one IMMEDIATE transaction, which
+        SQLite serializes across connections and processes.
+        """
+        now = self._clock()
+        with self._txn() as conn:
+            self._reap_expired(conn, now)
+            row = conn.execute(
+                "SELECT id, attempts FROM jobs WHERE state = ?"
+                " AND not_before <= ? ORDER BY id LIMIT 1",
+                (PENDING, now),
+            ).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state = ?, attempts = ?, lease_owner = ?,"
+                " lease_expires = ?, started_at = COALESCE(started_at, ?)"
+                " WHERE id = ?",
+                (
+                    RUNNING,
+                    row["attempts"] + 1,
+                    worker_id,
+                    now + lease_seconds,
+                    now,
+                    row["id"],
+                ),
+            )
+            got = conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (row["id"],)
+            ).fetchone()
+        return _record_from_row(got)
+
+    def renew(
+        self, job_id: str, worker_id: str, lease_seconds: float = 60.0
+    ) -> bool:
+        """Push the lease deadline forward; False if the lease is gone.
+
+        A False return is the worker's signal to abandon the job
+        immediately: either the job was cancelled, or the lease lapsed
+        and another worker owns (or will own) it.
+        """
+        now = self._clock()
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET lease_expires = ? WHERE id = ? AND"
+                " state = ? AND lease_owner = ?",
+                (now + lease_seconds, job_id, RUNNING, worker_id),
+            )
+            return cur.rowcount == 1
+
+    # -- completion ---------------------------------------------------
+    def finish(
+        self, job_id: str, worker_id: str, result: dict | None = None
+    ) -> bool:
+        """Mark an owned running job ``succeeded``; False if not owned."""
+        now = self._clock()
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, result = ?,"
+                " error = NULL, lease_owner = NULL, lease_expires = NULL"
+                " WHERE id = ? AND state = ? AND lease_owner = ?",
+                (
+                    SUCCEEDED,
+                    now,
+                    json.dumps(result) if result is not None else None,
+                    job_id,
+                    RUNNING,
+                    worker_id,
+                ),
+            )
+            return cur.rowcount == 1
+
+    def fail_attempt(self, job_id: str, worker_id: str, error: str) -> bool:
+        """Record a failed attempt: requeue with backoff, or fail for
+        good once ``max_attempts`` is spent.  False if not owned."""
+        now = self._clock()
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT attempts, max_attempts FROM jobs WHERE id = ?"
+                " AND state = ? AND lease_owner = ?",
+                (job_id, RUNNING, worker_id),
+            ).fetchone()
+            if row is None:
+                return False
+            if row["attempts"] >= row["max_attempts"]:
+                conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, error = ?,"
+                    " lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+                    (
+                        FAILED,
+                        now,
+                        f"{error} (attempt {row['attempts']}"
+                        f"/{row['max_attempts']})",
+                        job_id,
+                    ),
+                )
+            else:
+                delay = self._backoff_seconds(job_id, row["attempts"])
+                conn.execute(
+                    "UPDATE jobs SET state = ?, not_before = ?, error = ?,"
+                    " lease_owner = NULL, lease_expires = NULL WHERE id = ?",
+                    (
+                        PENDING,
+                        now + delay,
+                        f"{error} (attempt {row['attempts']}"
+                        f"/{row['max_attempts']}; retrying after"
+                        f" {delay:.3f}s)",
+                        job_id,
+                    ),
+                )
+            return True
+
+    def release(self, job_id: str, worker_id: str) -> bool:
+        """Gracefully hand an owned running job back to the queue.
+
+        The shutdown path: the attempt is refunded (the work was
+        interrupted, not at fault) and the job becomes immediately
+        claimable — no backoff gate.  False if not owned.
+        """
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, attempts = attempts - 1,"
+                " not_before = 0, lease_owner = NULL, lease_expires = NULL"
+                " WHERE id = ? AND state = ? AND lease_owner = ?",
+                (PENDING, job_id, RUNNING, worker_id),
+            )
+            return cur.rowcount == 1
+
+    # -- operator verbs -----------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a non-terminal job.
+
+        A running job's worker discovers the cancellation at its next
+        :meth:`renew` (which returns False) and abandons the work; its
+        artifacts are never published because ``finish`` is
+        owner-and-state guarded.
+        """
+        now = self._clock()
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?,"
+                " lease_owner = NULL, lease_expires = NULL"
+                " WHERE id = ? AND state IN (?, ?)",
+                (CANCELLED, now, job_id, PENDING, RUNNING),
+            )
+            return cur.rowcount == 1
+
+    def retry(self, job_id: str) -> bool:
+        """Resurrect a failed/cancelled job with a fresh attempt budget."""
+        with self._txn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET state = ?, attempts = 0, not_before = 0,"
+                " error = NULL, result = NULL, finished_at = NULL"
+                " WHERE id = ? AND state IN (?, ?)",
+                (PENDING, job_id, FAILED, CANCELLED),
+            )
+            return cur.rowcount == 1
+
+    # -- inspection ---------------------------------------------------
+    def get(self, job_id: str) -> JobRecord | None:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        return _record_from_row(row) if row is not None else None
+
+    def list_jobs(self, state: str | None = None) -> list[JobRecord]:
+        if state is not None and state not in STATES:
+            raise ValueError(
+                f"unknown state {state!r}; expected one of {STATES}"
+            )
+        if state is None:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY id"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = ? ORDER BY id", (state,)
+            ).fetchall()
+        return [_record_from_row(r) for r in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (zero-filled for all known states)."""
+        out = {state: 0 for state in STATES}
+        for row in self._conn.execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ):
+            out[row["state"]] = row["n"]
+        return out

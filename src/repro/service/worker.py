@@ -1,0 +1,221 @@
+"""The serve worker: claim, run, heartbeat, repeat — and die safely.
+
+One :class:`ServeWorker` is one process in the fleet sharing a spool
+directory.  Its loop is deliberately boring::
+
+    while not stopping:
+        job = store.claim(worker_id, lease)     # atomic, or None
+        execute_job(job, workdir, tick)         # heartbeats inside
+        store.finish(job) / fail_attempt(job)   # one transition
+
+Everything interesting is in how it *stops*:
+
+- **SIGTERM / SIGINT** — the first signal arms a latch (and counts a
+  ``shutdown.requested`` metric); the worker finishes the chunk in
+  flight, checkpoints stream jobs at the last durable block, releases
+  its lease (the attempt is refunded), and exits 0.  A second signal
+  aborts immediately — the lease then simply expires and the job is
+  reclaimed, exactly as if the worker had been killed.
+- **SIGKILL / power loss** — nothing runs, and nothing needs to: the
+  lease lapses, :meth:`~repro.service.store.JobStore.claim` reaps the
+  job back to pending with backoff, and the next attempt resumes from
+  the last durable checkpoint.  Chaos tests drive this path at every
+  scripted kill point.
+- **Lease lost** — if :meth:`~repro.service.store.JobStore.renew`
+  fails (expiry or cancellation), the worker abandons the job
+  mid-run without touching the store; artifact publication is
+  owner-guarded so the abandoned attempt can never finish the job.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from .. import telemetry
+from ..mapreduce.faults import hit_fault_point
+from .runner import execute_job, job_workdir
+from .store import JobRecord, JobStore, LeaseLost
+
+#: Spool-relative name of the shared job database.
+DB_NAME = "jobs.sqlite3"
+
+
+def default_worker_id() -> str:
+    host = socket.gethostname() or "host"
+    return f"{host}-{os.getpid()}"
+
+
+class ServeWorker:
+    """Single-process job-claiming daemon over one spool directory.
+
+    ``monotonic`` and ``sleep`` are injectable for deterministic tests
+    (the lease *deadlines* use the store's clock; only the heartbeat
+    cadence and idle poll run on this process-local clock).
+    """
+
+    def __init__(
+        self,
+        spool: str | Path,
+        store: JobStore | None = None,
+        worker_id: str | None = None,
+        lease_seconds: float = 30.0,
+        poll_seconds: float = 0.2,
+        monotonic: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.spool = Path(spool)
+        self.store = store if store is not None else JobStore(
+            self.spool / DB_NAME
+        )
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = lease_seconds
+        # Renew well inside the lease so one slow chunk cannot silently
+        # cross the deadline.
+        self.heartbeat_seconds = lease_seconds / 3.0
+        self.poll_seconds = poll_seconds
+        self._monotonic = monotonic
+        self._sleep = sleep
+        self._stop = False
+        self.stats = {
+            "claimed": 0, "succeeded": 0, "failed": 0,
+            "released": 0, "lease_lost": 0,
+        }
+
+    # -- signals ------------------------------------------------------
+    def _handle_signal(self, signum: int, frame: object) -> None:
+        if self._stop:
+            raise KeyboardInterrupt(
+                f"second signal {signum}; aborting immediately"
+            )
+        self._stop = True
+        telemetry.count("shutdown.requested")
+        self._log(f"signal {signum}: finishing current work, then exiting")
+
+    def _install_signals(self) -> dict[int, object]:
+        previous: dict[int, object] = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous[signum] = signal.signal(
+                        signum, self._handle_signal
+                    )
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        return previous
+
+    def _log(self, message: str) -> None:
+        print(f"[serve {self.worker_id}] {message}", flush=True)
+
+    # -- one job ------------------------------------------------------
+    def _make_tick(self, job: JobRecord) -> Callable[[], None]:
+        last_renew = [self._monotonic()]
+
+        def tick() -> None:
+            if self._stop:
+                raise KeyboardInterrupt("shutdown requested")
+            now = self._monotonic()
+            if now - last_renew[0] >= self.heartbeat_seconds:
+                if not self.store.renew(
+                    job.id, self.worker_id, self.lease_seconds
+                ):
+                    raise LeaseLost(
+                        f"{job.id}: lease no longer held by "
+                        f"{self.worker_id}"
+                    )
+                last_renew[0] = now
+
+        return tick
+
+    def process_one(self, job: JobRecord) -> None:
+        """Run one claimed job through exactly one store transition."""
+        self.stats["claimed"] += 1
+        self._log(
+            f"claimed {job.id} (attempt {job.attempts}/{job.max_attempts})"
+        )
+        workdir = job_workdir(self.spool, job.id)
+        try:
+            result = execute_job(job, workdir, tick=self._make_tick(job))
+        except LeaseLost as e:
+            # Another worker owns (or will own) the job now; our store
+            # row is not ours to touch.
+            self.stats["lease_lost"] += 1
+            telemetry.count("jobs.lease_lost")
+            self._log(f"abandoned {job.id}: {e}")
+        except KeyboardInterrupt:
+            # Graceful shutdown: stream checkpoints are already
+            # durable, so refund the attempt and requeue immediately.
+            if self.store.release(job.id, self.worker_id):
+                self.stats["released"] += 1
+                self._log(f"released {job.id} for shutdown")
+            self._stop = True
+        except Exception as e:
+            self.stats["failed"] += 1
+            telemetry.count("jobs.failed")
+            error = f"{type(e).__name__}: {e}"
+            if self.store.fail_attempt(job.id, self.worker_id, error):
+                self._log(f"attempt failed on {job.id}: {error}")
+        else:
+            hit_fault_point("service.before_finish")
+            if self.store.finish(job.id, self.worker_id, result):
+                self.stats["succeeded"] += 1
+                self._log(f"finished {job.id}: {result}")
+                shutil.rmtree(workdir, ignore_errors=True)
+            else:
+                # Completed the work but lost the lease at the line;
+                # output publication was atomic and idempotent, so the
+                # retry will simply rewrite identical bytes.
+                self.stats["lease_lost"] += 1
+                telemetry.count("jobs.lease_lost")
+                self._log(f"finished {job.id} but lease was lost")
+
+    # -- the loop -----------------------------------------------------
+    def run(
+        self, max_jobs: int | None = None, idle_exit: bool = False
+    ) -> int:
+        """Claim-and-run until stopped; returns the process exit code.
+
+        ``idle_exit`` ends the loop at the first empty poll (after the
+        retry backlog drains) — the mode chaos tests and batch scripts
+        use; a long-lived daemon omits it and polls forever.
+        """
+        previous = self._install_signals()
+        done = 0
+        try:
+            while not self._stop:
+                job = self.store.claim(self.worker_id, self.lease_seconds)
+                if job is None:
+                    if idle_exit and not self._pending_later():
+                        break
+                    self._sleep(self.poll_seconds)
+                    continue
+                self.process_one(job)
+                done += 1
+                if max_jobs is not None and done >= max_jobs:
+                    break
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        self._log(
+            f"exiting after {done} job(s): "
+            + ", ".join(f"{k}={v}" for k, v in self.stats.items() if v)
+        )
+        return 0
+
+    def _pending_later(self) -> bool:
+        """Any pending work at all (including backoff-gated retries)?
+
+        ``claim`` returning None can mean "empty queue" or "retries
+        waiting out their backoff"; with ``idle_exit`` the worker keeps
+        polling through the latter so a crashed job's retry is not
+        stranded.
+        """
+        return bool(self.store.list_jobs(state="pending")) or bool(
+            self.store.list_jobs(state="running")
+        )

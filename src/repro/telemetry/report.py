@@ -227,12 +227,21 @@ class RunReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def write(self, path: str | Path) -> Path:
-        """Atomically write the report JSON to ``path``."""
+        """Atomically and durably write the report JSON to ``path``.
+
+        Same temp-file + fsync + rename discipline as
+        :mod:`repro.io.atomic` (inlined here because telemetry
+        deliberately imports nothing from the rest of repro): a crash
+        mid-write never leaves a truncated report at the final path.
+        """
         path = Path(path)
         if path.parent != Path(""):
             path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(self.to_json() + "\n")
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        with open(tmp, "wt") as fh:
+            fh.write(self.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path
 

@@ -14,6 +14,7 @@ import sys
 from pathlib import Path
 
 from .. import telemetry
+from ..io.atomic import atomic_writer
 from .common import (
     add_reliability_flags,
     add_telemetry_flags,
@@ -126,7 +127,7 @@ def _run(args: argparse.Namespace, tel) -> int:
         args.outdir.mkdir(parents=True, exist_ok=True)
         for t, clusters in result.clusters.items():
             out = args.outdir / f"clusters_t{t:g}.tsv"
-            with open(out, "wt") as fh:
+            with atomic_writer(out, "wt") as fh:
                 for ci, members in enumerate(clusters):
                     for m in members.tolist():
                         fh.write(f"{ci}\t{names[m]}\n")

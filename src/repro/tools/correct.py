@@ -133,6 +133,7 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
         quality_histogram,
         select_parameters_streaming,
     )
+    from ..io.atomic import atomic_writer
     from ..io.fastq import read_fastq_chunks, write_fastq
     from ..kmer.streaming import (
         SpectrumAccumulator,
@@ -229,8 +230,11 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
     error_counts: dict = {}
     n_changed = 0
     n_out = 0
+    # The incremental output is staged through the atomic writer: the
+    # final path appears only once every block has been written, so a
+    # mid-run kill never leaves a truncated FASTQ behind.
     with telemetry.span("correct", method=args.method, stream=True):
-        with open(args.output, "wt") as out_handle:
+        with atomic_writer(args.output, "wt") as out_handle:
             for block, report in correct_stream(
                 corrector,
                 chunks(error_counts),

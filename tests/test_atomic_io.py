@@ -1,0 +1,180 @@
+"""Tests for the atomic artifact writers (repro.io.atomic).
+
+The property under test is the one the service's crash-safety story
+rests on: a final output path only ever holds a complete file, no
+matter where a write dies — including injected ENOSPC from the
+process-fault harness.
+"""
+
+import os
+
+import pytest
+
+from repro.io.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    publish_file,
+)
+from repro.mapreduce.faults import (
+    FAULT_POINTS_ENV,
+    InjectedFault,
+    reset_fault_points,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    monkeypatch.delenv(FAULT_POINTS_ENV, raising=False)
+    reset_fault_points()
+    yield
+    reset_fault_points()
+
+
+def _no_leftovers(directory):
+    return [p.name for p in directory.iterdir() if p.name.startswith(".")]
+
+
+def test_atomic_writer_success(tmp_path):
+    dest = tmp_path / "artifact.txt"
+    with atomic_writer(dest, "wt") as fh:
+        fh.write("hello\n")
+        # Not visible until the context exits.
+        assert not dest.exists()
+    assert dest.read_text() == "hello\n"
+    assert _no_leftovers(tmp_path) == []
+
+
+def test_atomic_writer_creates_parents(tmp_path):
+    dest = tmp_path / "a" / "b" / "artifact.txt"
+    atomic_write_text(dest, "deep")
+    assert dest.read_text() == "deep"
+
+
+def test_atomic_writer_overwrites_atomically(tmp_path):
+    dest = tmp_path / "artifact.txt"
+    dest.write_text("old")
+    with atomic_writer(dest, "wt") as fh:
+        fh.write("new")
+        assert dest.read_text() == "old"  # old content visible throughout
+    assert dest.read_text() == "new"
+
+
+def test_atomic_writer_failure_leaves_nothing(tmp_path):
+    dest = tmp_path / "artifact.txt"
+    with pytest.raises(RuntimeError, match="mid-write"):
+        with atomic_writer(dest, "wt") as fh:
+            fh.write("partial")
+            raise RuntimeError("mid-write")
+    assert not dest.exists()
+    assert _no_leftovers(tmp_path) == []
+
+
+def test_atomic_writer_failure_preserves_previous(tmp_path):
+    dest = tmp_path / "artifact.txt"
+    dest.write_text("committed")
+    with pytest.raises(ValueError):
+        with atomic_writer(dest, "wt") as fh:
+            fh.write("doomed")
+            raise ValueError
+    assert dest.read_text() == "committed"
+
+
+def test_atomic_writer_rejects_read_modes(tmp_path):
+    with pytest.raises(ValueError, match="write mode"):
+        with atomic_writer(tmp_path / "x", "rt"):
+            pass
+
+
+def test_atomic_writer_binary(tmp_path):
+    dest = tmp_path / "blob.bin"
+    with atomic_writer(dest, "wb") as fh:
+        fh.write(b"\x00\x01\x02")
+    assert dest.read_bytes() == b"\x00\x01\x02"
+
+
+def test_injected_enospc_aborts_commit(tmp_path, monkeypatch):
+    """The chaos hook: ENOSPC at the artifact.write fault point must
+    leave neither the final file nor temp litter behind."""
+    monkeypatch.setenv(FAULT_POINTS_ENV, "artifact.write=enospc@1")
+    reset_fault_points()
+    dest = tmp_path / "artifact.txt"
+    with pytest.raises(OSError) as exc_info:
+        with atomic_writer(dest, "wt") as fh:
+            fh.write("never lands")
+    assert exc_info.value.errno == 28  # ENOSPC
+    assert not dest.exists()
+    assert _no_leftovers(tmp_path) == []
+    # The fault was single-shot: the retry succeeds.
+    atomic_write_text(dest, "second try")
+    assert dest.read_text() == "second try"
+
+
+def test_injected_raise_aborts_commit(tmp_path, monkeypatch):
+    monkeypatch.setenv(FAULT_POINTS_ENV, "artifact.write=raise@1")
+    reset_fault_points()
+    dest = tmp_path / "artifact.json"
+    with pytest.raises(InjectedFault):
+        atomic_write_json(dest, {"k": 1})
+    assert not dest.exists()
+
+
+def test_atomic_write_json_round_trip(tmp_path):
+    import json
+
+    dest = tmp_path / "doc.json"
+    atomic_write_json(dest, {"b": 2, "a": [1, 2]})
+    with open(dest, "rt", encoding="utf-8") as fh:
+        assert json.load(fh) == {"b": 2, "a": [1, 2]}
+
+
+def test_publish_file_renames(tmp_path):
+    partial = tmp_path / "work" / "partial.fastq"
+    partial.parent.mkdir()
+    partial.write_text("@r\nACGT\n+\nIIII\n")
+    final = tmp_path / "out" / "corrected.fastq"
+    assert publish_file(partial, final) == final
+    assert final.read_text() == "@r\nACGT\n+\nIIII\n"
+    assert not partial.exists()
+
+
+def test_publish_file_exdev_fallback(tmp_path, monkeypatch):
+    """Cross-filesystem publish re-stages through atomic_writer."""
+    import errno
+
+    partial = tmp_path / "partial.bin"
+    partial.write_bytes(b"x" * 4096)
+    final = tmp_path / "final.bin"
+    real_replace = os.replace
+    calls = {"n": 0}
+
+    def exdev_once(src, dst):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise OSError(errno.EXDEV, "cross-device link")
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", exdev_once)
+    publish_file(partial, final)
+    assert final.read_bytes() == b"x" * 4096
+    assert not partial.exists()
+    assert calls["n"] == 2  # failed rename + the re-staged commit
+
+
+def test_write_fastq_path_is_atomic(tmp_path, monkeypatch):
+    """The corrected-FASTQ writer inherits the no-partial guarantee."""
+    from repro.io.fastq import read_fastq, write_fastq
+
+    src = tmp_path / "in.fastq"
+    src.write_text("@r0\nACGT\n+\nIIII\n@r1\nTTTT\n+\nIIII\n")
+    reads = read_fastq(src)
+    monkeypatch.setenv(FAULT_POINTS_ENV, "artifact.write=enospc@1")
+    reset_fault_points()
+    dest = tmp_path / "out.fastq"
+    with pytest.raises(OSError):
+        write_fastq(reads, dest)
+    assert not dest.exists()
+    reset_fault_points()
+    monkeypatch.delenv(FAULT_POINTS_ENV)
+    write_fastq(reads, dest)
+    assert dest.read_text() == src.read_text()

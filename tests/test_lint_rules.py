@@ -16,10 +16,22 @@ import pytest
 from repro.analysis import all_rules, get_rule, lint_source
 
 
+#: Package-scoped rules only fire under specific paths; everything else
+#: uses the neutral default.
+FIXTURE_PATHS: dict[str, str] = {
+    "REP204": "src/repro/tools/fake_tool.py",
+}
+_DEFAULT_PATH = "src/repro/fake/mod.py"
+
+
+def _fixture_path(rule_id: str) -> str:
+    return FIXTURE_PATHS.get(rule_id, _DEFAULT_PATH)
+
+
 def _lint(rule_id: str, source: str):
     """Run exactly one rule over dedented source; return findings."""
     result = lint_source(
-        textwrap.dedent(source), path="src/repro/fake/mod.py",
+        textwrap.dedent(source), path=_fixture_path(rule_id),
         rules=[get_rule(rule_id)],
     )
     assert not result.errors, result.errors
@@ -111,6 +123,22 @@ FIXTURES: dict[str, tuple[str, str]] = {
                 return transform(path)
             finally:
                 os.remove(path)
+        """,
+    ),
+    "REP204": (
+        """
+        def emit(records, out_path):
+            with open(out_path, "wt") as fh:
+                for record in records:
+                    fh.write(record)
+        """,
+        """
+        from repro.io.atomic import atomic_writer
+
+        def emit(records, out_path):
+            with atomic_writer(out_path, "wt") as fh:
+                for record in records:
+                    fh.write(record)
         """,
     ),
     "REP203": (
@@ -250,7 +278,7 @@ def test_noqa_suppresses_positive_fixture(rule_id):
     for f in findings:
         lines[f.line - 1] += f"  # repro: noqa[{rule_id}] -- fixture"
     result = lint_source(
-        "\n".join(lines), path="src/repro/fake/mod.py",
+        "\n".join(lines), path=_fixture_path(rule_id),
         rules=[get_rule(rule_id)],
     )
     assert result.findings == []
@@ -369,3 +397,49 @@ def test_rep501_unguarded_current_chain_flagged():
 def test_rep502_ignores_non_report_receivers():
     src = "def f(scores):\n    return scores['wall_secs']\n"
     assert _lint("REP502", src) == []
+
+
+_REP204_POSITIVE = (
+    'def emit(out_path):\n    with open(out_path, "wt") as fh:\n'
+    "        fh.write('x')\n"
+)
+
+
+@pytest.mark.parametrize(
+    "path,should_fire",
+    [
+        ("src/repro/tools/correct.py", True),
+        ("src/repro/service/runner.py", True),
+        ("src/repro/kmer/external.py", False),   # library spill files
+        ("src/repro/io/atomic.py", False),       # the atomic layer itself
+        ("tests/test_tools.py", False),
+    ],
+)
+def test_rep204_scoped_to_user_facing_packages(path, should_fire):
+    result = lint_source(
+        _REP204_POSITIVE, path=path, rules=[get_rule("REP204")]
+    )
+    assert bool(result.findings) == should_fire, path
+
+
+@pytest.mark.parametrize(
+    "call,should_fire",
+    [
+        ('open(p, "wt")', True),
+        ('open(p, "wb")', True),
+        ('open(p, "x")', True),
+        ('open(p, mode="w")', True),
+        ('gzip.open(p, "wt")', True),
+        ('open(p)', False),            # default read mode
+        ('open(p, "rt")', False),
+        ('open(p, "rb")', False),
+        ('open(p, "at")', False),      # append = the resume pattern
+        ('open(p, mode)', False),      # non-constant mode: no false alarm
+    ],
+)
+def test_rep204_mode_matrix(call, should_fire):
+    src = f"import gzip\n\ndef emit(p, mode):\n    with {call} as fh:\n        fh.write('x')\n"
+    result = lint_source(
+        src, path="src/repro/service/fake.py", rules=[get_rule("REP204")]
+    )
+    assert bool(result.findings) == should_fire, call

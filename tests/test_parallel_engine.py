@@ -284,3 +284,50 @@ def test_generic_corrector_without_correct_chunk():
     report = correct_in_parallel(Plain(), reads, workers=1, chunk_size=3)
     assert (report.reads.codes == 3).all()
     assert report.counters["chunks_corrected"] == 3
+
+
+# -- graceful shutdown -------------------------------------------------------
+class _SelfSignalingCorrector(_PoisonCorrector):
+    """Raises SIGTERM against its own process while correcting the
+    first chunk — simulating an operator's kill landing mid-chunk."""
+
+    def __init__(self, signum):
+        self.signum = signum
+        self.fired = False
+
+    def correct_chunk(self, reads: ReadSet):
+        if not self.fired:
+            self.fired = True
+            import os
+            import signal as signal_mod
+
+            os.kill(os.getpid(), getattr(signal_mod, self.signum))
+        return super().correct_chunk(reads)
+
+
+@pytest.mark.parametrize("signum", ["SIGTERM", "SIGINT"])
+def test_signal_mid_chunk_drains_then_interrupts(signum):
+    """First SIGTERM/SIGINT finishes the chunk in flight, records the
+    shutdown metric, and raises KeyboardInterrupt at the boundary."""
+    from repro.telemetry import MetricsRegistry
+
+    reads = _toy_reads(12)
+    corrector = _SelfSignalingCorrector(signum)
+    counters = MetricsRegistry()
+    with pytest.raises(KeyboardInterrupt, match="drained 1/3"):
+        correct_in_parallel(
+            corrector, reads, workers=1, chunk_size=4, counters=counters
+        )
+    snap = counters.as_dict()
+    assert snap["shutdown.requested"] == 1
+    assert snap["chunks_drained"] == 1
+    assert snap["chunks_corrected"] == 1  # in-flight chunk completed
+
+
+def test_signal_handlers_are_restored_after_run():
+    import signal as signal_mod
+
+    before = signal_mod.getsignal(signal_mod.SIGTERM)
+    reads = _toy_reads(8)
+    correct_in_parallel(_PoisonCorrector(), reads, workers=1, chunk_size=8)
+    assert signal_mod.getsignal(signal_mod.SIGTERM) is before

@@ -1,0 +1,298 @@
+"""Unit tests for the durable job store: states, leases, claiming.
+
+Wall-clock-free where it matters: the store takes an injectable clock,
+so lease expiry, backoff gating, and reaping are all stepped
+deterministically.  The concurrency tests use *real* separate
+connections (and threads) against one database file — the exact
+topology of multiple worker processes sharing a spool.
+"""
+
+import threading
+
+import pytest
+
+from repro.mapreduce.types import RetryPolicy
+from repro.service.spec import JobSpec
+from repro.service.store import (
+    CANCELLED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    JobStore,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_spec(tmp_path, **kw):
+    return JobSpec(
+        input=str(tmp_path / "in.fastq"),
+        output=str(tmp_path / "out.fastq"),
+        **kw,
+    )
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    with JobStore(tmp_path / "jobs.sqlite3", clock=clock) as s:
+        yield s
+
+
+def test_submit_assigns_sequential_ids(store, tmp_path):
+    assert store.submit(make_spec(tmp_path)) == "job-000001"
+    assert store.submit(make_spec(tmp_path)) == "job-000002"
+    assert [r.id for r in store.list_jobs()] == ["job-000001", "job-000002"]
+    assert store.counts()[PENDING] == 2
+
+
+def test_submit_validates_spec(store, tmp_path):
+    with pytest.raises(ValueError, match="reptile"):
+        store.submit(make_spec(tmp_path, stream=True, method="redeem"))
+    with pytest.raises(ValueError, match="max_attempts"):
+        store.submit(make_spec(tmp_path), max_attempts=0)
+
+
+def test_spec_round_trips_through_store(store, tmp_path):
+    spec = make_spec(
+        tmp_path, stream=True, workers=3, chunk_size=64,
+        labels={"tenant": "t1"},
+    )
+    job_id = store.submit(spec)
+    assert store.get(job_id).spec == spec
+
+
+def test_claim_transitions_and_counts_attempt(store, tmp_path, clock):
+    job_id = store.submit(make_spec(tmp_path))
+    job = store.claim("w1", lease_seconds=60)
+    assert job is not None and job.id == job_id
+    assert job.state == RUNNING
+    assert job.attempts == 1
+    assert job.lease_owner == "w1"
+    assert job.lease_expires == clock.now + 60
+    # Nothing else to claim.
+    assert store.claim("w2") is None
+
+
+def test_claim_respects_submission_order(store, tmp_path):
+    store.submit(make_spec(tmp_path))
+    store.submit(make_spec(tmp_path))
+    assert store.claim("w1").id == "job-000001"
+    assert store.claim("w1").id == "job-000002"
+
+
+def test_finish_requires_ownership(store, tmp_path):
+    job_id = store.submit(make_spec(tmp_path))
+    store.claim("w1")
+    assert not store.finish(job_id, "intruder", {})
+    assert store.finish(job_id, "w1", {"reads": 5})
+    record = store.get(job_id)
+    assert record.state == SUCCEEDED
+    assert record.result == {"reads": 5}
+    assert record.lease_owner is None
+
+
+def test_renew_extends_lease_and_fails_when_lost(store, tmp_path, clock):
+    job_id = store.submit(make_spec(tmp_path))
+    store.claim("w1", lease_seconds=10)
+    clock.advance(5)
+    assert store.renew(job_id, "w1", lease_seconds=10)
+    assert store.get(job_id).lease_expires == clock.now + 10
+    assert not store.renew(job_id, "w2", lease_seconds=10)
+    store.cancel(job_id)
+    assert not store.renew(job_id, "w1", lease_seconds=10)
+
+
+def test_expired_lease_is_reaped_with_backoff(store, tmp_path, clock):
+    job_id = store.submit(make_spec(tmp_path))
+    store.claim("w1", lease_seconds=10)
+    # Lease still live: nothing to claim.
+    clock.advance(9)
+    assert store.claim("w2") is None
+    # Lease lapsed: the job returns to pending behind a backoff gate.
+    clock.advance(2)
+    assert store.claim("w2") is None  # reaped, but not_before gates it
+    record = store.get(job_id)
+    assert record.state == PENDING
+    assert record.not_before > clock.now
+    assert "lease expired" in record.error
+    # Once the gate passes, the next claim wins it with attempt 2.
+    clock.advance(record.not_before - clock.now + 0.001)
+    job = store.claim("w2", lease_seconds=10)
+    assert job.id == job_id
+    assert job.attempts == 2
+    assert job.lease_owner == "w2"
+
+
+def test_backoff_grows_with_attempts_and_is_deterministic(tmp_path, clock):
+    policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                         backoff_jitter=0.0)
+    with JobStore(tmp_path / "j.sqlite3", clock=clock,
+                  backoff=policy) as store:
+        job_id = store.submit(make_spec(tmp_path), max_attempts=5)
+        delays = []
+        for _ in range(3):
+            job = store.claim("w1", lease_seconds=1)
+            assert job is not None
+            clock.advance(2)        # let the lease lapse
+            store.claim("w2")       # reap
+            record = store.get(job_id)
+            delays.append(record.not_before - clock.now)
+            clock.advance(delays[-1] + 0.001)
+        # base * factor**(attempt-1), zero jitter.
+        assert delays == [1.0, 2.0, 4.0]
+
+
+def test_lease_expiry_exhausts_attempts(store, tmp_path, clock):
+    job_id = store.submit(make_spec(tmp_path), max_attempts=2)
+    for attempt in (1, 2):
+        job = store.claim("w1", lease_seconds=1)
+        if job is None:
+            # The claim above only reaped; wait out the backoff gate.
+            record = store.get(job_id)
+            clock.advance(record.not_before - clock.now + 0.001)
+            job = store.claim("w1", lease_seconds=1)
+        assert job is not None and job.attempts == attempt
+        clock.advance(2)  # lapse the lease without finishing
+    store.claim("w2")  # reap the final expired lease
+    record = store.get(job_id)
+    assert record.state == FAILED
+    assert "attempts exhausted" in record.error
+
+
+def test_fail_attempt_requeues_then_fails_for_good(store, tmp_path, clock):
+    job_id = store.submit(make_spec(tmp_path), max_attempts=2)
+    store.claim("w1")
+    assert store.fail_attempt(job_id, "w1", "boom")
+    record = store.get(job_id)
+    assert record.state == PENDING
+    assert "boom" in record.error and "retrying" in record.error
+    clock.advance(record.not_before - clock.now + 0.001)
+    store.claim("w1")
+    assert store.fail_attempt(job_id, "w1", "boom again")
+    record = store.get(job_id)
+    assert record.state == FAILED
+    assert "boom again" in record.error
+    # Terminal: not claimable, not failable.
+    assert store.claim("w1") is None
+    assert not store.fail_attempt(job_id, "w1", "late")
+
+
+def test_release_refunds_the_attempt(store, tmp_path):
+    job_id = store.submit(make_spec(tmp_path))
+    store.claim("w1")
+    assert store.release(job_id, "w1")
+    record = store.get(job_id)
+    assert record.state == PENDING
+    assert record.attempts == 0
+    assert record.not_before == 0
+    # Immediately claimable again, back at attempt 1.
+    assert store.claim("w2").attempts == 1
+    # Only the owner can release.
+    assert not store.release(job_id, "w1")
+
+
+def test_cancel_pending_and_running_but_not_terminal(store, tmp_path):
+    a = store.submit(make_spec(tmp_path))
+    b = store.submit(make_spec(tmp_path))
+    store.claim("w1")  # claims a
+    assert store.cancel(a)
+    assert store.cancel(b)
+    assert store.get(a).state == CANCELLED
+    assert not store.cancel(a)
+    # The worker that held `a` discovers the cancellation via renew.
+    assert not store.renew(a, "w1")
+    assert not store.finish(a, "w1", {})
+
+
+def test_retry_resurrects_failed_and_cancelled(store, tmp_path):
+    job_id = store.submit(make_spec(tmp_path), max_attempts=1)
+    store.claim("w1")
+    store.fail_attempt(job_id, "w1", "boom")
+    assert store.get(job_id).state == FAILED
+    assert store.retry(job_id)
+    record = store.get(job_id)
+    assert record.state == PENDING
+    assert record.attempts == 0
+    assert record.error is None
+    # Not applicable to pending/running jobs.
+    assert not store.retry(job_id)
+
+
+def test_list_jobs_filters_and_rejects_unknown_state(store, tmp_path):
+    store.submit(make_spec(tmp_path))
+    store.submit(make_spec(tmp_path))
+    store.claim("w1")
+    assert [r.id for r in store.list_jobs(state=RUNNING)] == ["job-000001"]
+    assert [r.id for r in store.list_jobs(state=PENDING)] == ["job-000002"]
+    with pytest.raises(ValueError, match="unknown state"):
+        store.list_jobs(state="bogus")
+
+
+def test_concurrent_claims_from_separate_connections(tmp_path):
+    """Two stores over one DB file: each pending job is claimed once."""
+    path = tmp_path / "jobs.sqlite3"
+    with JobStore(path) as producer:
+        for _ in range(8):
+            producer.submit(make_spec(tmp_path))
+
+    claims: dict[str, list[str]] = {"w1": [], "w2": []}
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(2)
+
+    def claim_all(worker_id):
+        # One connection per thread, as sqlite3 requires.
+        try:
+            with JobStore(path) as store:
+                barrier.wait()
+                while True:
+                    job = store.claim(worker_id, lease_seconds=60)
+                    if job is None:
+                        return
+                    claims[worker_id].append(job.id)
+        except BaseException as e:  # pragma: no cover - surfaced below
+            errors.append(e)
+            raise
+
+    threads = [
+        threading.Thread(target=claim_all, args=(w,)) for w in claims
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    won = claims["w1"] + claims["w2"]
+    assert sorted(won) == [f"job-{i:06d}" for i in range(1, 9)]
+    assert len(set(won)) == 8  # no double-claims
+
+    with JobStore(path) as store:
+        assert store.counts()[RUNNING] == 8
+
+
+def test_store_survives_reopen(tmp_path, clock):
+    path = tmp_path / "jobs.sqlite3"
+    with JobStore(path, clock=clock) as store:
+        job_id = store.submit(make_spec(tmp_path))
+        store.claim("w1", lease_seconds=10)
+    # Process death == just stop renewing; a new store instance reaps.
+    clock.advance(11)
+    with JobStore(path, clock=clock) as store:
+        record = store.get(job_id)
+        assert record.state == RUNNING  # nothing reaped yet
+        store.claim("w2")  # triggers the reap
+        assert store.get(job_id).state == PENDING
