@@ -53,7 +53,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="out-of-core three-pass correction with "
                         "block-granular crash recovery")
     s.add_argument("--max-memory", type=memory_size, default=None,
-                   metavar="SIZE")
+                   metavar="SIZE",
+                   help="bound phase-1 k-mer memory, spilling to disk "
+                        "(implies --stream)")
     s.add_argument("--on-error", choices=["raise", "skip"],
                    default="raise")
     s.add_argument("--report", default=None,
@@ -111,6 +113,21 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
     if args.verb == "submit":
+        stream = args.stream or args.max_memory is not None
+        if stream and args.method != "reptile":
+            # Surface the implication before JobSpec.validate turns it
+            # into a confusing "stream jobs ..." rejection for a user
+            # who never passed --stream.
+            lead = (
+                "--stream supports" if args.stream
+                else "--max-memory implies --stream, which supports"
+            )
+            print(
+                f"error: {lead} the reptile method only "
+                f"(got --method {args.method})",
+                file=sys.stderr,
+            )
+            return 2
         spec = JobSpec(
             input=args.input,
             output=args.output,
@@ -119,7 +136,7 @@ def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
             genome_length=args.genome_length,
             workers=args.workers,
             chunk_size=args.chunk_size,
-            stream=args.stream or args.max_memory is not None,
+            stream=stream,
             max_memory=args.max_memory,
             on_error=args.on_error,
             report=args.report,

@@ -6,7 +6,7 @@ correction through the :mod:`repro.core.api` registry, and nothing
 about *how* the run is scheduled (states, attempts, and leases belong
 to :mod:`repro.service.store`).  Specs are deliberately plain data:
 a job submitted today must still execute after a daemon restart, a
-code upgrade, or on a different worker host sharing the spool.
+code upgrade, or under a different worker process on the spool host.
 """
 
 from __future__ import annotations

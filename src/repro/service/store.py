@@ -2,10 +2,17 @@
 
 The durable core of the correction service (the py_experimenter /
 elogfetch pattern: the database *is* the coordination protocol).  One
-WAL-mode SQLite file holds every job; workers on any process — or any
-host sharing the spool directory — coordinate exclusively through
-short ``BEGIN IMMEDIATE`` transactions, so there is no daemon to lose
-state when a worker dies.
+WAL-mode SQLite file holds every job; any number of worker
+*processes* on the machine hosting the spool coordinate exclusively
+through short ``BEGIN IMMEDIATE`` transactions, so there is no daemon
+to lose state when a worker dies.
+
+.. note:: Single host, local filesystem.  WAL mode coordinates
+   writers through a shared-memory ``-shm`` sidecar, which SQLite
+   documents as unsafe over network filesystems — a spool on NFS/SMB
+   risks store corruption and broken lease mutual exclusion.  Keep
+   the spool on a local filesystem and scale out with more worker
+   processes on that host, not with cross-host mounts.
 
 Job lifecycle::
 
@@ -66,6 +73,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     spec          TEXT NOT NULL,
     state         TEXT NOT NULL,
     attempts      INTEGER NOT NULL DEFAULT 0,
+    claim_seq     INTEGER NOT NULL DEFAULT 0,
     max_attempts  INTEGER NOT NULL DEFAULT 3,
     not_before    REAL NOT NULL DEFAULT 0,
     lease_owner   TEXT,
@@ -92,6 +100,13 @@ class JobRecord:
     spec: JobSpec
     state: str
     attempts: int
+    #: Total claims ever granted for this job.  Unlike ``attempts``
+    #: (refunded by :meth:`JobStore.release`, reset by
+    #: :meth:`JobStore.retry`) this only ever grows, so it doubles as
+    #: a fencing token: the runner keys each claim's work files by it,
+    #: and no two claims — however they overlap in wall-clock time —
+    #: can ever share one.
+    claim_seq: int
     max_attempts: int
     not_before: float
     lease_owner: str | None
@@ -107,6 +122,7 @@ class JobRecord:
             "id": self.id,
             "state": self.state,
             "attempts": self.attempts,
+            "claim_seq": self.claim_seq,
             "max_attempts": self.max_attempts,
             "not_before": self.not_before,
             "lease_owner": self.lease_owner,
@@ -127,6 +143,7 @@ def _record_from_row(row: sqlite3.Row) -> JobRecord:
         spec=JobSpec.from_json(row["spec"]),
         state=row["state"],
         attempts=row["attempts"],
+        claim_seq=row["claim_seq"],
         max_attempts=row["max_attempts"],
         not_before=row["not_before"],
         lease_owner=row["lease_owner"],
@@ -201,7 +218,12 @@ class JobStore:
         max_attempts: int = 3,
         job_id: str | None = None,
     ) -> str:
-        """Insert a new ``pending`` job; returns its id."""
+        """Insert a new ``pending`` job; returns its id.
+
+        Auto-generated ids step past any caller-supplied id of the
+        same ``job-%06d`` shape instead of colliding; an explicit
+        ``job_id`` that already exists raises ``ValueError``.
+        """
         spec.validate()
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -211,12 +233,26 @@ class JobStore:
                 row = conn.execute(
                     "SELECT COALESCE(MAX(rowid), 0) + 1 AS n FROM jobs"
                 ).fetchone()
-                job_id = f"job-{int(row['n']):06d}"
-            conn.execute(
-                "INSERT INTO jobs (id, spec, state, attempts, max_attempts,"
-                " not_before, submitted_at) VALUES (?, ?, ?, 0, ?, 0, ?)",
-                (job_id, spec.to_json(), PENDING, max_attempts, now),
-            )
+                n = int(row["n"])
+                while True:
+                    job_id = f"job-{n:06d}"
+                    taken = conn.execute(
+                        "SELECT 1 FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                    if taken is None:
+                        break
+                    n += 1
+            try:
+                conn.execute(
+                    "INSERT INTO jobs (id, spec, state, attempts,"
+                    " max_attempts, not_before, submitted_at)"
+                    " VALUES (?, ?, ?, 0, ?, 0, ?)",
+                    (job_id, spec.to_json(), PENDING, max_attempts, now),
+                )
+            except sqlite3.IntegrityError:
+                raise ValueError(
+                    f"job id {job_id!r} already exists"
+                ) from None
         return job_id
 
     # -- claiming and leases ------------------------------------------
@@ -235,7 +271,7 @@ class JobStore:
         rows = conn.execute(
             "SELECT id, attempts, max_attempts FROM jobs"
             " WHERE state = ? AND lease_expires IS NOT NULL"
-            " AND lease_expires <= ? ORDER BY id",
+            " AND lease_expires <= ? ORDER BY rowid",
             (RUNNING, now),
         ).fetchall()
         for row in rows:
@@ -280,15 +316,19 @@ class JobStore:
         now = self._clock()
         with self._txn() as conn:
             self._reap_expired(conn, now)
+            # FIFO by submission time (rowid tie-break), never by the
+            # text id: zero-padded ids stop sorting numerically past
+            # six digits and custom ids would jump the queue.
             row = conn.execute(
                 "SELECT id, attempts FROM jobs WHERE state = ?"
-                " AND not_before <= ? ORDER BY id LIMIT 1",
+                " AND not_before <= ? ORDER BY submitted_at, rowid LIMIT 1",
                 (PENDING, now),
             ).fetchone()
             if row is None:
                 return None
             conn.execute(
-                "UPDATE jobs SET state = ?, attempts = ?, lease_owner = ?,"
+                "UPDATE jobs SET state = ?, attempts = ?,"
+                " claim_seq = claim_seq + 1, lease_owner = ?,"
                 " lease_expires = ?, started_at = COALESCE(started_at, ?)"
                 " WHERE id = ?",
                 (
@@ -445,11 +485,13 @@ class JobStore:
             )
         if state is None:
             rows = self._conn.execute(
-                "SELECT * FROM jobs ORDER BY id"
+                "SELECT * FROM jobs ORDER BY submitted_at, rowid"
             ).fetchall()
         else:
             rows = self._conn.execute(
-                "SELECT * FROM jobs WHERE state = ? ORDER BY id", (state,)
+                "SELECT * FROM jobs WHERE state = ?"
+                " ORDER BY submitted_at, rowid",
+                (state,),
             ).fetchall()
         return [_record_from_row(r) for r in rows]
 

@@ -27,7 +27,11 @@ import pytest
 
 from repro.service import DB_NAME, PENDING, SUCCEEDED, JobStore
 from repro.service.cli import main as jobs_main
-from repro.service.runner import CHECKPOINT_NAME
+from repro.service.runner import (
+    checkpoint_path,
+    job_workdir,
+    latest_checkpoint,
+)
 from repro.tools.correct import main as correct_main
 from repro.tools.simulate import main as simulate_main
 
@@ -113,11 +117,12 @@ def _job_state(spool, job_id):
 
 # -- SIGKILL at every scripted kill point ------------------------------------
 KILL_POINTS = [
-    "service.claimed=kill@1",       # right after the claim transaction
-    "service.fitted=kill@1",        # phase 1 done, nothing written yet
-    "service.block=kill@2",         # two durable blocks checkpointed
-    "service.before_commit=kill@1", # full partial staged, not published
-    "service.before_finish=kill@1", # artifact published, store not final
+    "service.claimed=kill@1",         # right after the claim transaction
+    "service.fitted=kill@1",          # phase 1 done, nothing written yet
+    "service.partial_written=kill@1", # block durable, checkpoint not yet
+    "service.block=kill@2",           # two durable blocks checkpointed
+    "service.before_commit=kill@1",   # full partial staged, not published
+    "service.before_finish=kill@1",   # artifact published, store not final
 ]
 
 
@@ -156,8 +161,8 @@ def test_kill_mid_stream_leaves_durable_checkpoint_and_resumes(
 
     killed = _serve(spool, fault_points="service.block=kill@2")
     assert killed.returncode == -signal.SIGKILL
-    ckpt_path = spool / "work" / job_id / CHECKPOINT_NAME
-    assert ckpt_path.is_file()
+    ckpt_path = latest_checkpoint(job_workdir(spool, job_id))
+    assert ckpt_path is not None and ckpt_path.is_file()
     with open(ckpt_path, "rt", encoding="utf-8") as fh:
         ckpt = json.load(fh)
     assert ckpt["reads_done"] == 64  # two durable 32-read blocks
@@ -169,6 +174,33 @@ def test_kill_mid_stream_leaves_durable_checkpoint_and_resumes(
     assert record.state == SUCCEEDED
     assert record.result["resumed_reads"] == 64
     assert record.result["reads"] > 64
+    assert output.read_bytes() == stream_reference
+
+
+def test_kill_before_first_checkpoint_restarts_clean(
+    dataset, stream_reference, tmp_path
+):
+    """SIGKILL after the first block's bytes are durable but before any
+    checkpoint exists: the orphaned partial must not wedge the retry —
+    the next attempt starts from scratch and still lands byte-identical
+    (the review-flagged crash window)."""
+    spool = tmp_path / "spool"
+    output = tmp_path / "out.fastq"
+    job_id = _submit_stream(spool, dataset, output)
+
+    killed = _serve(spool, fault_points="service.partial_written=kill@1")
+    assert killed.returncode == -signal.SIGKILL, killed.stdout
+    workdir = job_workdir(spool, job_id)
+    # The crash left durable partial bytes with no covering checkpoint.
+    partials = list(workdir.glob("partial.*.fastq"))
+    assert partials and partials[0].stat().st_size > 0
+    assert latest_checkpoint(workdir) is None
+
+    clean = _serve(spool)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    record = _job_state(spool, job_id)
+    assert record.state == SUCCEEDED, record.error
+    assert record.result["resumed_reads"] == 0  # no checkpoint to adopt
     assert output.read_bytes() == stream_reference
 
 
@@ -258,7 +290,9 @@ def test_graceful_sigterm_releases_and_resumes(
     spool = tmp_path / "spool"
     output = tmp_path / "out.fastq"
     job_id = _submit_stream(spool, dataset, output)
-    ckpt_path = spool / "work" / job_id / CHECKPOINT_NAME
+    # The first claim is claim_seq 1, so its fenced checkpoint path is
+    # knowable before the worker starts.
+    ckpt_path = checkpoint_path(job_workdir(spool, job_id), 1)
 
     # Slow each block down so SIGTERM reliably lands mid-run.
     proc = subprocess.Popen(

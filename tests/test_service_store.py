@@ -95,6 +95,51 @@ def test_claim_respects_submission_order(store, tmp_path):
     assert store.claim("w1").id == "job-000002"
 
 
+def test_claim_fifo_is_submission_time_not_id_text_order(
+    store, tmp_path, clock
+):
+    store.submit(make_spec(tmp_path), job_id="zzz-first")
+    clock.advance(1)
+    store.submit(make_spec(tmp_path), job_id="aaa-second")
+    assert store.claim("w1").id == "zzz-first"
+    assert store.claim("w1").id == "aaa-second"
+    assert [r.id for r in store.list_jobs()] == ["zzz-first", "aaa-second"]
+
+
+def test_submit_auto_ids_step_past_custom_collisions(store, tmp_path):
+    store.submit(make_spec(tmp_path), job_id="job-000001")
+    # MAX(rowid)+1 would regenerate job-000001; the auto id must step
+    # past the caller-supplied one instead of colliding.
+    assert store.submit(make_spec(tmp_path)) == "job-000002"
+    with pytest.raises(ValueError, match="already exists"):
+        store.submit(make_spec(tmp_path), job_id="job-000002")
+    # The failed insert rolled back cleanly; the store still works.
+    assert store.submit(make_spec(tmp_path)) == "job-000003"
+
+
+def test_claim_seq_grows_forever_as_a_fencing_token(
+    store, tmp_path, clock
+):
+    job_id = store.submit(make_spec(tmp_path))
+    assert store.claim("w1").claim_seq == 1
+    # Graceful release refunds the attempt but never the fencing token.
+    store.release(job_id, "w1")
+    job = store.claim("w1")
+    assert job.attempts == 1
+    assert job.claim_seq == 2
+    # Failed attempts keep it growing through the backoff gate.
+    store.fail_attempt(job_id, "w1", "boom")
+    record = store.get(job_id)
+    clock.advance(record.not_before - clock.now + 0.001)
+    assert store.claim("w1").claim_seq == 3
+    # Even an operator retry (fresh attempt budget) never reuses one.
+    store.cancel(job_id)
+    assert store.retry(job_id)
+    job = store.claim("w1")
+    assert job.attempts == 1
+    assert job.claim_seq == 4
+
+
 def test_finish_requires_ownership(store, tmp_path):
     job_id = store.submit(make_spec(tmp_path))
     store.claim("w1")
