@@ -10,9 +10,12 @@ from .api import (
     register_corrector,
     supports_chunking,
 )
+from .hotpath import HotpathConfig, TileMemoCache
 from .hybrid import HybridCorrector, HybridResult
 
 __all__ = [
+    "HotpathConfig",
+    "TileMemoCache",
     "reptile",
     "redeem",
     "closet",

@@ -57,14 +57,20 @@ class HybridCorrector:
         k_redeem: int,
         error_model: KmerErrorModel | None = None,
         dmax: int = 1,
+        hotpath=None,
         **reptile_kwargs,
     ) -> "HybridCorrector":
         """Fit the REDEEM stage; the Reptile stage is fit lazily on the
         REDEEM-corrected reads inside :meth:`run` (its spectra must
-        reflect stage 1's output)."""
+        reflect stage 1's output).  ``hotpath`` is shared by both
+        stages (prefilter for REDEEM's EM, all three knobs for the
+        Reptile tiling pass)."""
         redeem = RedeemCorrector.fit(
-            reads, k=k_redeem, error_model=error_model, dmax=dmax
+            reads, k=k_redeem, error_model=error_model, dmax=dmax,
+            hotpath=hotpath,
         )
+        if hotpath is not None:
+            reptile_kwargs.setdefault("hotpath", hotpath)
         return cls(redeem=redeem, reptile_kwargs=reptile_kwargs)
 
     def run(self, reads: ReadSet) -> HybridResult:

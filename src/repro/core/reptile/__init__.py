@@ -22,8 +22,13 @@ from .read_correct import (
 from .tile_correct import (
     Decision,
     TileOutcome,
+    TileRule,
+    apply_tile_rule,
     correct_tile,
     enumerate_mutant_tiles,
+    enumerate_mutant_tiles_batch,
+    evaluate_tile,
+    evaluate_tiles_batch,
     tile_diff_positions,
 )
 
@@ -35,8 +40,13 @@ __all__ = [
     "default_k_for_genome",
     "Decision",
     "TileOutcome",
+    "TileRule",
+    "apply_tile_rule",
+    "evaluate_tile",
     "correct_tile",
     "enumerate_mutant_tiles",
+    "enumerate_mutant_tiles_batch",
+    "evaluate_tiles_batch",
     "tile_diff_positions",
     "TilingContext",
     "ReadCorrectionStats",

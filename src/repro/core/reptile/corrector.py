@@ -27,15 +27,39 @@ from ...kmer.masked_index import MaskedKmerIndex
 from ...kmer.neighbor_index import PrecomputedNeighborIndex, ProbingNeighborIndex
 from ...kmer.spectrum import KmerSpectrum, spectrum_from_reads
 from ...kmer.tiles import TileTable, tile_table_from_reads
+from ...kmer.tiles import tile_og_rows
 from ...seq.alphabet import reverse_complement_codes
 from ..api import ChunkedCorrectorMixin
+from ..hotpath import HotpathConfig, TileMemoCache
 from .ambiguous import convert_ambiguous
 from .params import ReptileParams, select_parameters
+from .tile_correct import (
+    Decision,
+    TileRule,
+    enumerate_mutant_tiles_batch,
+    evaluate_tiles_batch,
+    tile_diff_positions,
+)
 from .read_correct import (
     ReadCorrectionStats,
     TilingContext,
     correct_read_one_direction,
+    valid_walk_positions,
 )
+
+
+def _rule_valid(rules, codes: np.ndarray, og: np.ndarray) -> np.ndarray:
+    """Boolean mask: window is unambiguous and its bulk rule is VALID."""
+    utiles, decisions = rules[0], rules[1]
+    out = np.zeros(codes.shape, dtype=bool)
+    ok = og >= 0
+    if utiles.size and ok.any():
+        sub = codes[ok]
+        idx = np.searchsorted(utiles, sub)
+        idx_c = np.minimum(idx, utiles.size - 1)
+        found = utiles[idx_c] == sub
+        out[ok] = found & (decisions[idx_c] == 0)
+    return out
 
 
 @dataclass
@@ -60,7 +84,18 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         tiles: TileTable,
         neighbor_backend: str = "precomputed",
         flexible_tiling: bool = True,
+        hotpath: HotpathConfig | None = None,
     ):
+        if neighbor_backend not in ("precomputed", "probing", "masked"):
+            raise ValueError(f"unknown neighbor backend {neighbor_backend!r}")
+        self.hotpath = hotpath if hotpath is not None else HotpathConfig()
+        if self.hotpath.prefilter:
+            # Shallow copies sharing the sorted arrays: callers keeping
+            # references to the originals (e.g. the ablation bench) see
+            # no mutation.  Attaching before the neighbor-index build
+            # also accelerates the index's own membership probes.
+            spectrum = spectrum.with_prefilter(self.hotpath.prefilter_fp_rate)
+            tiles = tiles.with_prefilter(self.hotpath.prefilter_fp_rate)
         self.params = params
         self.spectrum = spectrum
         self.tiles = tiles
@@ -71,16 +106,24 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         elif neighbor_backend == "probing":
             self._index = ProbingNeighborIndex(spectrum, params.d)
             self._neighbor_fn = self._index.neighbors
-        elif neighbor_backend == "masked":
+        else:  # "masked" — the set was validated on entry
             self._index = MaskedKmerIndex(spectrum.kmers, params.k, params.d)
             self._neighbor_fn = self._index.neighbors
-        else:
-            raise ValueError(f"unknown neighbor backend {neighbor_backend!r}")
+        # The memo lives on the instance: forked workers get a
+        # copy-on-write snapshot and mutate only their own copy, with
+        # counters harvested per chunk (see core/hotpath.py docstring).
+        self._memo = (
+            TileMemoCache(self.hotpath.memo_capacity)
+            if self.hotpath.memo
+            else None
+        )
         self._ctx = TilingContext(
             params=params,
-            tile_lookup=tiles.lookup,
+            tile_lookup=self.tiles.lookup,
             kmer_neighbors=self._neighbor_fn,
             flexible=flexible_tiling,
+            memo=self._memo,
+            batch=self.hotpath.batch,
         )
 
     # -- construction -------------------------------------------------
@@ -92,6 +135,7 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         genome_length_estimate: int | None = None,
         neighbor_backend: str = "precomputed",
         flexible_tiling: bool = True,
+        hotpath: HotpathConfig | None = None,
         **param_overrides,
     ) -> "ReptileCorrector":
         """Build all phase-1 structures from a read set.
@@ -125,6 +169,7 @@ class ReptileCorrector(ChunkedCorrectorMixin):
                 tiles=tiles,
                 neighbor_backend=neighbor_backend,
                 flexible_tiling=flexible_tiling,
+                hotpath=hotpath,
             )
 
     @classmethod
@@ -136,6 +181,7 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         flexible_tiling: bool = True,
         max_memory_bytes: int | None = None,
         tmp_dir=None,
+        hotpath: HotpathConfig | None = None,
     ) -> "ReptileCorrector":
         """Phase 1 over a stream of read chunks (Sec. 2.3's divide-and-
         merge for inputs larger than memory).
@@ -155,11 +201,16 @@ class ReptileCorrector(ChunkedCorrectorMixin):
             build_from_chunks,
         )
 
+        hp = hotpath if hotpath is not None else HotpathConfig()
+        # Build the Bloom prefilters as part of the accumulation pass
+        # so streaming mode gets them without re-touching the tables.
+        fp = hp.prefilter_fp_rate if hp.prefilter else None
         spec_acc = SpectrumAccumulator(
             params.k,
             both_strands=True,
             max_memory_bytes=max_memory_bytes,
             tmp_dir=tmp_dir,
+            prefilter_fp_rate=fp,
         )
         tile_acc = TileAccumulator(
             params.k,
@@ -168,6 +219,7 @@ class ReptileCorrector(ChunkedCorrectorMixin):
             both_strands=True,
             max_memory_bytes=max_memory_bytes,
             tmp_dir=tmp_dir,
+            prefilter_fp_rate=fp,
         )
         with telemetry.span("reptile.fit_streaming", k=params.k):
             spectrum, tiles = build_from_chunks(chunks, [spec_acc, tile_acc])
@@ -180,7 +232,93 @@ class ReptileCorrector(ChunkedCorrectorMixin):
             tiles=tiles,
             neighbor_backend=neighbor_backend,
             flexible_tiling=flexible_tiling,
+            hotpath=hp,
         )
+
+    # -- batched rule precomputation ----------------------------------
+    def _bulk_rules(self, codes: np.ndarray, og: np.ndarray, d1: int):
+        """Vectorized Algorithm-1 rules for the unique tiles in ``codes``.
+
+        ``d1`` must be 0 or ``params.d`` (the two mutation allowances a
+        canonical walk ever uses); ``og`` rows of -1 (ambiguous
+        windows) are dropped.  Returns ``(utiles, decisions, new_tiles,
+        gated, uog)`` aligned over the sorted unique tile codes, or
+        None when the neighbor backend has no batch API (the masked
+        backend) — callers then fall back to the per-tile path.
+        """
+        nb_batch = getattr(self._index, "neighbors_batch", None)
+        if nb_batch is None:
+            return None
+        p = self.params
+        keep = og >= 0
+        codes, og = codes[keep], og[keep]
+        utiles, first = np.unique(codes, return_index=True)
+        uog = og[first].astype(np.int64)
+        decisions = np.zeros(utiles.size, dtype=np.uint8)
+        new_tiles = np.zeros(utiles.size, dtype=np.uint64)
+        gated = np.zeros(utiles.size, dtype=bool)
+        # og >= cg tiles are VALID outright (and the walk short-circuits
+        # them before ever consulting the memo) — evaluate the rest.
+        need = uog < p.cg
+        if need.any():
+            sub = utiles[need]
+            a1 = sub >> np.uint64(2 * (p.tile_length - p.k))
+            a2 = sub & np.uint64((1 << (2 * p.k)) - 1)
+            if d1 > 0:
+                nb1_vals, nb1_indptr = nb_batch(a1)
+            else:
+                nb1_vals = np.empty(0, dtype=np.uint64)
+                nb1_indptr = np.zeros(a1.size + 1, dtype=np.int64)
+            nb2_vals, nb2_indptr = nb_batch(a2)
+            mutants, tidx = enumerate_mutant_tiles_batch(
+                sub, nb1_vals, nb1_indptr, nb2_vals, nb2_indptr,
+                p.k, p.overlap,
+            )
+            _, og_m = self.tiles.lookup(mutants)
+            d_s, n_s, g_s = evaluate_tiles_batch(
+                sub, uog[need], mutants, og_m, tidx, p.cg, p.cm, p.cr
+            )
+            decisions[need] = d_s
+            new_tiles[need] = n_s
+            gated[need] = g_s
+        return utiles, decisions, new_tiles, gated, uog
+
+    def _seed_memo(self, rules, d1: int) -> None:
+        """Install bulk-evaluated rules into the memo cache.
+
+        Only tiles with ``og < cg`` are stored — the walk never asks
+        the memo about short-circuited tiles.  Keys and rule contents
+        are exactly what the scalar path would have computed and
+        cached on first miss.
+        """
+        if self._memo is None or rules is None:
+            return
+        utiles, decisions, new_tiles, gated, uog = rules
+        p = self.params
+        valid_rule = TileRule(Decision.VALID)
+        insuf_rule = TileRule(Decision.INSUFFICIENT)
+        d2 = p.d
+        store = uog < p.cg
+        for t, dec, nt, g in zip(
+            utiles[store].tolist(),
+            decisions[store].tolist(),
+            new_tiles[store].tolist(),
+            gated[store].tolist(),
+        ):
+            if dec == 0:
+                rule = valid_rule
+            elif dec == 1:
+                rule = TileRule(
+                    Decision.CORRECTED,
+                    new_tile=nt,
+                    changed_positions=tile_diff_positions(
+                        t, nt, p.tile_length
+                    ),
+                    quality_gated=g,
+                )
+            else:
+                rule = insuf_rule
+            self._memo.put((t, d1, d2), rule)
 
     # -- correction ---------------------------------------------------
     def correct(self, reads: ReadSet) -> ReadSet:
@@ -201,6 +339,12 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         and tile tables contain both strands, so lookups agree.
         """
         p = self.params
+        if self._memo is not None:
+            # Each run reports its own memo-counter delta (harvested in
+            # correct_chunk); drop anything a prior unharvested run on
+            # this corrector left pending so deltas never bleed across
+            # runs.
+            self._memo.reset_counters()
         n_conv = 0
         if handle_ambiguous and reads.has_ambiguous().any():
             reads, conv_mask = convert_ambiguous(
@@ -215,22 +359,168 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         validated = (
             np.zeros(out.codes.shape, dtype=bool) if track_validated else None
         )
+        fw_code = fw_og = rc_code = rc_og = None
+        fw_allvalid = rc_allvalid = walk_tiles = None
+        tlen = p.tile_length
+        nwin = out.codes.shape[1] - tlen + 1
+        if self.hotpath.batch and nwin > 0 and out.n_reads:
+            # Chunk-level precompute: per-window tile codes and Og for
+            # every read, forward and reverse-complement, in a few
+            # vectorized passes (grouped by read length so the RC rows
+            # line up with each read's own reversal).  A row describes
+            # the read *as it entered the pass*: the forward rows are
+            # valid until the forward pass edits the read, the RC rows
+            # only if the forward pass left it untouched.
+            fw_code = np.zeros((out.n_reads, nwin), dtype=np.uint64)
+            fw_og = np.full((out.n_reads, nwin), -1, dtype=np.int64)
+            rc_code = np.zeros((out.n_reads, nwin), dtype=np.uint64)
+            rc_og = np.full((out.n_reads, nwin), -1, dtype=np.int64)
+            fw_allvalid = np.zeros(out.n_reads, dtype=bool)
+            rc_allvalid = np.zeros(out.n_reads, dtype=bool)
+            walk_tiles = np.zeros(out.n_reads, dtype=np.int64)
+            step = p.k - p.overlap
+            groups = []
+            for ln in np.unique(out.lengths):
+                if ln < tlen:
+                    continue
+                rows = np.flatnonzero(out.lengths == ln)
+                block = out.codes[rows, :ln]
+                w = ln - tlen + 1
+                c, o = tile_og_rows(block, self.tiles)
+                fw_code[rows, :w] = c
+                fw_og[rows, :w] = o
+                c2, o2 = tile_og_rows(
+                    reverse_complement_codes(block), self.tiles
+                )
+                rc_code[rows, :w] = c2
+                rc_og[rows, :w] = o2
+                walk = np.array(
+                    valid_walk_positions(int(ln), tlen, step), dtype=np.int64
+                )
+                walk_tiles[rows] = walk.size
+                groups.append((rows, walk, c, o, c2, o2))
+            # Bulk-evaluate Algorithm-1 rules for every canonical walk
+            # window of every read (d1 = d at position 0, d1 = 0 after
+            # a success), seed the memo with them, and screen whole
+            # reads whose every window rule is VALID: those walks are
+            # provably no-ops (see valid_walk_positions) and skip the
+            # Python loop entirely.
+            head_c, head_o, rest_c, rest_o = [], [], [], []
+            for rows, walk, c, o, c2, o2 in groups:
+                last = c.shape[1] - 1
+                # d1 = d windows: the walk head (pos 0) plus the
+                # first-level D3 targets — the shift-by-one placement
+                # tried after any canonical failure and the skip-by-a-
+                # tile resumption point — all queried with the full
+                # allowance.  Warming them too turns the common
+                # insufficient-head detour into pure memo hits.
+                hcols = np.unique(
+                    np.clip(
+                        np.concatenate(([0], walk + 1, walk + tlen)),
+                        0,
+                        last,
+                    )
+                )
+                head_c += [c[:, hcols].ravel(), c2[:, hcols].ravel()]
+                head_o += [o[:, hcols].ravel(), o2[:, hcols].ravel()]
+                if walk.size > 1:
+                    cols = walk[1:]
+                    rest_c += [c[:, cols].ravel(), c2[:, cols].ravel()]
+                    rest_o += [o[:, cols].ravel(), o2[:, cols].ravel()]
+            rules_head = rules_rest = None
+            if groups:
+                rules_head = self._bulk_rules(
+                    np.concatenate(head_c), np.concatenate(head_o), p.d
+                )
+                if rest_c:
+                    rules_rest = self._bulk_rules(
+                        np.concatenate(rest_c), np.concatenate(rest_o), 0
+                    )
+                self._seed_memo(rules_head, p.d)
+                self._seed_memo(rules_rest, 0)
+            if rules_head is not None:
+                for rows, walk, c, o, c2, o2 in groups:
+                    fw_ok = _rule_valid(rules_head, c[:, 0], o[:, 0])
+                    rc_ok = _rule_valid(rules_head, c2[:, 0], o2[:, 0])
+                    if walk.size > 1 and rules_rest is not None:
+                        cols = walk[1:]
+                        fw_ok &= _rule_valid(
+                            rules_rest, c[:, cols], o[:, cols]
+                        ).all(axis=1)
+                        rc_ok &= _rule_valid(
+                            rules_rest, c2[:, cols], o2[:, cols]
+                        ).all(axis=1)
+                    fw_allvalid[rows] = fw_ok
+                    rc_allvalid[rows] = rc_ok
+        screen = fw_allvalid is not None
+        untouched = np.ones(out.n_reads, dtype=bool)
+        # Forward (5'->3') pass over every read.
         for i in range(out.n_reads):
             ln = int(out.lengths[i])
+            if screen and fw_allvalid[i]:
+                # Provably all-valid walk: the read is untouched in
+                # this direction; reconstruct the walk stats and
+                # per-base provenance without running the pass.
+                n_pos = int(walk_tiles[i])
+                total.tiles_examined += n_pos
+                total.tiles_valid += n_pos
+                if validated is not None:
+                    validated[i, :ln] = True
+                continue
+            fw = correct_read_one_direction(
+                out.codes[i, :ln],
+                out.quals[i, :ln] if out.quals is not None else None,
+                self._ctx,
+                validated[i, :ln] if validated is not None else None,
+                og_row=fw_og[i] if fw_og is not None else None,
+                code_row=fw_code[i] if fw_code is not None else None,
+            )
+            total.merge(fw)
+            if fw.bases_changed:
+                untouched[i] = False
+        # The precomputed RC rows describe the *original* reads, so
+        # forward-pass edits invalidate them.  Refresh the dirty rows
+        # from the corrected bases in one vectorized pass — then every
+        # read, edited or not, takes the row-fed fast path in reverse.
+        if rc_og is not None and not untouched.all():
+            dirty = np.flatnonzero(~untouched)
+            for ln in np.unique(out.lengths[dirty]):
+                rows = dirty[out.lengths[dirty] == ln]
+                block = out.codes[rows, :ln]
+                w = ln - tlen + 1
+                c2, o2 = tile_og_rows(
+                    reverse_complement_codes(block), self.tiles
+                )
+                rc_code[rows, :w] = c2
+                rc_og[rows, :w] = o2
+        # Reverse (3'->5') pass on each read's reverse complement.
+        for i in range(out.n_reads):
+            ln = int(out.lengths[i])
+            if screen and untouched[i] and rc_allvalid[i]:
+                n_pos = int(walk_tiles[i])
+                total.tiles_examined += n_pos
+                total.tiles_valid += n_pos
+                if validated is not None:
+                    validated[i, :ln] = True
+                continue
             codes = out.codes[i, :ln]
             quals = out.quals[i, :ln] if out.quals is not None else None
-            vrow = validated[i, :ln] if validated is not None else None
-            total.merge(
-                correct_read_one_direction(codes, quals, self._ctx, vrow)
-            )
-            # 3'->5' pass on the reverse complement.
             rc = reverse_complement_codes(codes.copy())
             rq = quals[::-1].copy() if quals is not None else None
-            vrc = np.zeros(ln, dtype=bool) if vrow is not None else None
-            total.merge(correct_read_one_direction(rc, rq, self._ctx, vrc))
+            vrc = np.zeros(ln, dtype=bool) if validated is not None else None
+            total.merge(
+                correct_read_one_direction(
+                    rc,
+                    rq,
+                    self._ctx,
+                    vrc,
+                    og_row=rc_og[i] if rc_og is not None else None,
+                    code_row=rc_code[i] if rc_code is not None else None,
+                )
+            )
             codes[:] = reverse_complement_codes(rc)
-            if vrow is not None:
-                vrow |= vrc[::-1]
+            if validated is not None:
+                validated[i, :ln] |= vrc[::-1]
         return ReptileResult(
             reads=out,
             stats=total,
@@ -248,7 +538,7 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         """
         result = self.run(reads)
         s = result.stats
-        return result.reads, {
+        stats = {
             "tiles_examined": s.tiles_examined,
             "tiles_valid": s.tiles_valid,
             "tiles_corrected": s.tiles_corrected,
@@ -256,6 +546,13 @@ class ReptileCorrector(ChunkedCorrectorMixin):
             "bases_changed": s.bases_changed,
             "ambiguous_converted": result.n_ambiguous_converted,
         }
+        if self._memo is not None:
+            # Per-chunk counter deltas; the parallel engine merges them
+            # across forked workers like any other stat, and telemetry
+            # exposes the totals as gauges at session close.
+            stats.update(self._memo.harvest())
+            telemetry.gauge("hotpath.memo_size", len(self._memo))
+        return result.reads, stats
 
     def correct_parallel(
         self,
@@ -285,6 +582,10 @@ class ReptileCorrector(ChunkedCorrectorMixin):
         total += (
             self.tiles.tiles.nbytes + self.tiles.oc.nbytes + self.tiles.og.nbytes
         )
+        if self.spectrum.prefilter is not None:
+            total += self.spectrum.prefilter.nbytes
+        if self.tiles.prefilter is not None:
+            total += self.tiles.prefilter.nbytes
         if isinstance(self._index, PrecomputedNeighborIndex):
             total += self._index.indptr.nbytes + self._index.indices.nbytes
         elif isinstance(self._index, MaskedKmerIndex):

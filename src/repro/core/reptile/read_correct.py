@@ -14,15 +14,24 @@ complement, covering the 3'→5' direction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ...seq.distance import kmer_hamming
 from ...seq.encoding import pack_kmer, unpack_kmer
-from ...kmer.tiles import compose_tile
+from ...kmer.tiles import compose_tile, split_tile
 from .params import ReptileParams
-from .tile_correct import Decision, correct_tile, enumerate_mutant_tiles
+from .tile_correct import (
+    OUTCOME_VALID,
+    Decision,
+    apply_tile_rule,
+    enumerate_mutant_tiles,
+    evaluate_tile,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..hotpath import TileMemoCache
 
 
 @dataclass
@@ -55,6 +64,14 @@ class TilingContext:
     #: Allow the D3 alternative-placement / skip moves (the ablation
     #: switch: False reduces Reptile to a fixed left-to-right tiling).
     flexible: bool = True
+    #: Bounded memo of Algorithm 1 rules keyed by (tile_code, d1, d2);
+    #: None disables memoization (ablation / legacy path).
+    memo: "TileMemoCache | None" = None
+    #: Enable the batched fast path: consume chunk-precomputed per-window
+    #: (tile code, Og) rows and short-circuit ``og >= cg`` tiles before
+    #: candidate enumeration.  False preserves the legacy scalar path
+    #: instruction for instruction.
+    batch: bool = False
 
 
 def _candidates(ctx: TilingContext, code: int, allowance: int) -> np.ndarray:
@@ -77,18 +94,55 @@ def _try_tile(
     d1: int,
     d2: int,
     ctx: TilingContext,
+    og_pre: int | None = None,
+    code_pre: int | None = None,
 ):
-    """Run Algorithm 1 on the tile starting at ``pos``."""
+    """Run Algorithm 1 on the tile starting at ``pos``.
+
+    ``og_pre``/``code_pre`` optionally carry the chunk-precomputed Og
+    count and tile code for this window (``og_pre == -1`` marks a
+    window containing ambiguous bases); they are only passed while the
+    read is still byte-identical to the precomputed chunk matrix, so
+    using them is exact.
+    """
     p = ctx.params
     tlen = p.tile_length
-    window = codes[pos : pos + tlen]
-    if (window >= 4).any():
-        return None  # ambiguous/padded bases: cannot even pack
-    a1 = pack_kmer(window[: p.k])
-    a2 = pack_kmer(window[tlen - p.k :])
-    tile_code = compose_tile(a1, a2, p.k, p.overlap)
-    _, og_t_arr = ctx.tile_lookup(np.array([tile_code], dtype=np.uint64))
-    og_t = int(og_t_arr[0])
+    a1: int | None = None
+    a2: int | None = None
+    if og_pre is not None:
+        # Precomputed row: og_pre >= 0 iff the window is unambiguous,
+        # which is exactly the (window >= 4).any() packability check.
+        if og_pre < 0:
+            return None
+        tile_code = int(code_pre)  # type: ignore[arg-type]
+        og_t = int(og_pre)
+    else:
+        window = codes[pos : pos + tlen]
+        if (window >= 4).any():
+            return None  # ambiguous/padded bases: cannot even pack
+        a1 = pack_kmer(window[: p.k])
+        a2 = pack_kmer(window[tlen - p.k :])
+        tile_code = compose_tile(a1, a2, p.k, p.overlap)
+        _, og_t_arr = ctx.tile_lookup(np.array([tile_code], dtype=np.uint64))
+        og_t = int(og_t_arr[0])
+
+    if ctx.batch and og_t >= p.cg:
+        # Algorithm 1's very first check is og >= cg -> VALID, and
+        # candidate enumeration has no side effects, so skipping it
+        # here is byte-identical — just much cheaper for the dominant
+        # well-supported-tile case.
+        return OUTCOME_VALID
+
+    tq = quals[pos : pos + tlen] if quals is not None else None
+
+    if ctx.memo is not None:
+        rule = ctx.memo.get((tile_code, d1, d2))
+        if rule is not None:
+            return apply_tile_rule(rule, tq, p.qm)
+
+    if a1 is None:
+        # Constituent k-mers are recoverable from the tile code alone.
+        a1, a2 = split_tile(tile_code, p.k, p.overlap)
 
     cand1 = _candidates(ctx, a1, d1)
     cand2 = _candidates(ctx, a2, d2)
@@ -97,19 +151,41 @@ def _try_tile(
         _, og_m = ctx.tile_lookup(mutants)
     else:
         og_m = np.empty(0, dtype=np.int64)
-    tq = quals[pos : pos + tlen] if quals is not None else None
-    return correct_tile(
+    rule = evaluate_tile(
         tile_code=tile_code,
         mutant_tiles=mutants,
         og_tile=og_t,
         og_mutants=og_m,
-        tile_quals=tq,
         tile_length=tlen,
         cg=p.cg,
         cm=p.cm,
         cr=p.cr,
-        qm=p.qm,
     )
+    if ctx.memo is not None:
+        ctx.memo.put((tile_code, d1, d2), rule)
+    return apply_tile_rule(rule, tq, p.qm)
+
+
+def valid_walk_positions(length: int, tile_length: int, step: int) -> list[int]:
+    """Tile placements visited by an **all-valid** walk over a read.
+
+    Mirrors the success path of :func:`correct_read_one_direction`
+    exactly: start at 0, advance by ``step`` after each valid tile,
+    clamp to the last full window, stop there.  When every one of
+    these windows has ``og >= cg`` the walk provably visits exactly
+    this sequence (every tile short-circuits to VALID, so no D3 moves
+    and no corrections occur) — which is what lets the batched fast
+    path screen whole reads without running the Python loop.
+    """
+    positions: list[int] = []
+    pos = 0
+    last = length - tile_length
+    while True:
+        pos = min(pos, last)
+        positions.append(pos)
+        if pos == last:
+            return positions
+        pos += step
 
 
 def _write_tile(codes: np.ndarray, pos: int, tile_code: int, tlen: int) -> int:
@@ -125,6 +201,8 @@ def correct_read_one_direction(
     quals: np.ndarray | None,
     ctx: TilingContext,
     validated: np.ndarray | None = None,
+    og_row: np.ndarray | None = None,
+    code_row: np.ndarray | None = None,
 ) -> ReadCorrectionStats:
     """One 5'→3' tiling pass over (a mutable copy of) a read.
 
@@ -132,6 +210,12 @@ def correct_read_one_direction(
     positions covered by a validated or corrected tile are marked True
     — the per-base provenance needed to score ambiguous-base
     resolution (Table 2.4).
+
+    ``og_row``/``code_row`` optionally carry the chunk-precomputed
+    per-window Og counts and tile codes for this read (from
+    :func:`repro.kmer.tiles.tile_og_rows`).  They describe the read
+    *as it entered this pass*, so they are consulted only until the
+    first in-pass correction dirties the row.
     """
     p = ctx.params
     stats = ReadCorrectionStats()
@@ -147,6 +231,7 @@ def correct_read_one_direction(
     tried: set[tuple[int, int]] = set()
     guard = 0
     max_steps = 4 * L + 16
+    clean = ctx.batch and og_row is not None and code_row is not None
     while pos <= L - tlen and guard < max_steps:
         guard += 1
         pos = min(pos, L - tlen)
@@ -159,7 +244,19 @@ def correct_read_one_direction(
             continue
         tried.add(state)
 
-        outcome = _try_tile(codes, quals, pos, d1, p.d, ctx)
+        if clean:
+            outcome = _try_tile(
+                codes,
+                quals,
+                pos,
+                d1,
+                p.d,
+                ctx,
+                og_pre=int(og_row[pos]),
+                code_pre=int(code_row[pos]),
+            )
+        else:
+            outcome = _try_tile(codes, quals, pos, d1, p.d, ctx)
         stats.tiles_examined += 1
         if outcome is not None and outcome.decision is Decision.VALID:
             stats.tiles_valid += 1
@@ -169,6 +266,8 @@ def correct_read_one_direction(
             stats.bases_changed += _write_tile(
                 codes, pos, outcome.new_tile, tlen
             )
+            # The read no longer matches the chunk-precomputed rows.
+            clean = False
             success = True
         else:
             stats.tiles_insufficient += 1

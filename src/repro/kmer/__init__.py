@@ -13,6 +13,7 @@ from .neighborhood import (
     neighbors_d1,
     neighbors_d1_batch,
 )
+from .prefilter import BloomPrefilter
 from .external import (
     ExternalCodeCounter,
     external_spectrum_from_chunks,
@@ -40,10 +41,12 @@ from .tiles import (
     compose_tile,
     compose_tiles_batch,
     split_tile,
+    tile_og_rows,
     tile_table_from_reads,
 )
 
 __all__ = [
+    "BloomPrefilter",
     "KmerSpectrum",
     "spectrum_from_reads",
     "spectrum_from_sequence",
@@ -57,6 +60,7 @@ __all__ = [
     "PrecomputedNeighborIndex",
     "xor_patterns",
     "TileTable",
+    "tile_og_rows",
     "tile_table_from_reads",
     "compose_tile",
     "compose_tiles_batch",

@@ -51,6 +51,34 @@ class ProbingNeighborIndex:
                 hits = np.append(hits, np.uint64(code))
         return np.sort(hits)
 
+    def neighbors_batch(
+        self, codes: np.ndarray, include_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR neighborhoods of many codes in one vectorized pass.
+
+        Returns ``(values, indptr)``: row ``i``'s neighbors are
+        ``values[indptr[i]:indptr[i+1]]``, sorted, element-wise equal
+        to ``neighbors(codes[i], include_self)``.
+        """
+        codes = np.asarray(codes, dtype=np.uint64).ravel()
+        n = codes.size
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.uint64),
+                np.zeros(1, dtype=np.int64),
+            )
+        cand = codes[:, None] ^ self._patterns[None, :]
+        if include_self:
+            cand = np.concatenate([cand, codes[:, None]], axis=1)
+        hit = self.spectrum.contains(cand)
+        counts = hit.sum(axis=1)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        values = cand[hit]  # row-major ravel keeps rows contiguous
+        rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+        order = np.lexsort((values, rows))
+        return values[order], indptr
+
 
 class PrecomputedNeighborIndex:
     """CSR adjacency of the whole spectrum, built in vectorized chunks.
@@ -135,3 +163,61 @@ class PrecomputedNeighborIndex:
         elif include_self and not self.include_self:
             codes = np.append(codes, np.uint64(code))
         return np.sort(codes)
+
+    def neighbors_batch(
+        self, codes: np.ndarray, include_self: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR neighborhoods of many codes via the precomputed adjacency.
+
+        Returns ``(values, indptr)`` with the same per-row contents as
+        :meth:`neighbors` — sorted codes, probing fallback for queries
+        absent from the spectrum.
+        """
+        codes = np.asarray(codes, dtype=np.uint64).ravel()
+        n = codes.size
+        if n == 0:
+            return (
+                np.empty(0, dtype=np.uint64),
+                np.zeros(1, dtype=np.int64),
+            )
+        qi = self.spectrum.index_of(codes)
+        present = qi >= 0
+        pi = qi[present]
+        lens = self.indptr[pi + 1] - self.indptr[pi]
+        total = int(lens.sum())
+        if total:
+            # Gather every present row's CSR slice in one flat pass.
+            offs = np.repeat(np.cumsum(lens) - lens, lens)
+            flat = (
+                np.arange(total, dtype=np.int64)
+                - offs
+                + np.repeat(self.indptr[pi], lens)
+            )
+            vals = self.spectrum.kmers[self.indices[flat]]
+            rows = np.repeat(np.flatnonzero(present), lens)
+        else:
+            vals = np.empty(0, dtype=np.uint64)
+            rows = np.empty(0, dtype=np.int64)
+        if self.include_self and not include_self:
+            keep = vals != codes[rows]
+            vals, rows = vals[keep], rows[keep]
+        elif include_self and not self.include_self:
+            vals = np.concatenate([vals, codes[present]])
+            rows = np.concatenate([rows, np.flatnonzero(present)])
+        # Absent queries fall back to probing, exactly like neighbors().
+        absent = np.flatnonzero(~present)
+        if absent.size:
+            probe = ProbingNeighborIndex(self.spectrum, self.d)
+            extra = [
+                probe.neighbors(int(codes[row]), include_self=False)
+                for row in absent.tolist()
+            ]
+            vals = np.concatenate([vals, *extra])
+            rows = np.concatenate(
+                [rows, np.repeat(absent, [e.size for e in extra])]
+            )
+        order = np.lexsort((vals, rows))
+        vals, rows = vals[order], rows[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        return vals, indptr

@@ -5,6 +5,13 @@ of a k-mer (every code within Hamming distance d, present in the data
 or not); the batch variants produce the distance-1 ball of *many*
 codes at once as one 2-D array, which is how the Hamming graph and the
 probing neighbor index stay vectorized.
+
+Every function here takes ``include_self`` with the **same default,
+False**: the neighborhood excludes the code itself unless asked.
+(Historically ``complete_neighbors``/``neighborhood_size`` defaulted
+to True while the d1 helpers defaulted to False — an off-by-one-ball
+trap for batched kernels that mix them; the defaults were unified and
+every call site audited.)
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ def neighbors_d1_batch(
 
 
 def complete_neighbors(
-    code: int, k: int, d: int, include_self: bool = True
+    code: int, k: int, d: int, include_self: bool = False
 ) -> np.ndarray:
     """The complete d-neighborhood ``N^dc`` of one code.
 
@@ -69,10 +76,12 @@ def complete_neighbors(
                 deltas = (np.arange(1, 4, dtype=np.uint64) << s)[None, :]
                 patterns = (patterns[:, None] | deltas).ravel()
             results.append(code ^ patterns)
+    if not results:  # d == 0 without self: the empty neighborhood
+        return np.empty(0, dtype=np.uint64)
     return np.concatenate(results)
 
 
-def neighborhood_size(k: int, d: int, include_self: bool = True) -> int:
+def neighborhood_size(k: int, d: int, include_self: bool = False) -> int:
     """``|N^dc|`` — closed-form size of the complete d-neighborhood."""
     from math import comb
 

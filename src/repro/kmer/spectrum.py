@@ -8,7 +8,7 @@ membership and count queries are vectorized ``np.searchsorted`` calls
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -20,21 +20,43 @@ from ..seq.encoding import (
     revcomp_kmer_codes,
     valid_kmer_mask,
 )
+from .prefilter import MIN_PREFILTER_BATCH, BloomPrefilter
 
 
 @dataclass
 class KmerSpectrum:
-    """Sorted unique k-mer codes with occurrence counts."""
+    """Sorted unique k-mer codes with occurrence counts.
+
+    An optional :class:`~repro.kmer.prefilter.BloomPrefilter` fronts
+    the sorted-array lookups: codes the filter rejects are answered
+    absent in O(1) without the binary search.  Because the filter has
+    zero false negatives, attaching one never changes any answer —
+    it is a pure fast path.
+    """
 
     k: int
     kmers: np.ndarray  # sorted uint64
     counts: np.ndarray  # int64, aligned with kmers
+    #: Optional Bloom prefilter over ``kmers`` (never affects results).
+    prefilter: BloomPrefilter | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.kmers = np.asarray(self.kmers, dtype=np.uint64)
         self.counts = np.asarray(self.counts, dtype=np.int64)
         if self.kmers.shape != self.counts.shape:
             raise ValueError("kmers/counts shape mismatch")
+
+    def with_prefilter(self, fp_rate: float = 0.01) -> "KmerSpectrum":
+        """Copy of this spectrum (sharing its arrays) with a Bloom
+        prefilter built over its k-mers; returns ``self`` if one is
+        already attached."""
+        if self.prefilter is not None:
+            return self
+        return replace(
+            self, prefilter=BloomPrefilter.from_codes(self.kmers, fp_rate)
+        )
 
     @property
     def n_kmers(self) -> int:
@@ -57,6 +79,21 @@ class KmerSpectrum:
         codes = np.asarray(codes, dtype=np.uint64)
         if self.kmers.size == 0:
             return np.full(codes.shape, -1, dtype=np.int64)
+        if self.prefilter is not None and codes.size >= MIN_PREFILTER_BATCH:
+            # Zero false negatives => codes the filter rejects are
+            # certainly absent; only the survivors hit the binary
+            # search.  Result is exactly the unfiltered answer.
+            # (Tiny batches skip the filter — hashing costs more than
+            # the binary search it would save.)
+            maybe = self.prefilter.maybe_contains(codes)
+            out = np.full(codes.shape, -1, dtype=np.int64)
+            if np.any(maybe):
+                sub = codes[maybe]
+                idx = np.searchsorted(self.kmers, sub)
+                idx_c = np.minimum(idx, self.kmers.size - 1)
+                found = self.kmers[idx_c] == sub
+                out[maybe] = np.where(found, idx_c, -1)
+            return out
         idx = np.searchsorted(self.kmers, codes)
         idx_clipped = np.minimum(idx, self.kmers.size - 1)
         found = self.kmers[idx_clipped] == codes

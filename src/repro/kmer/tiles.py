@@ -13,7 +13,7 @@ width.  For every tile Reptile records two multiplicities (Sec. 2.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from ..seq.encoding import (
     revcomp_kmer_codes,
     valid_kmer_mask,
 )
+from .prefilter import MIN_PREFILTER_BATCH, BloomPrefilter
 
 
 def compose_tile(a: int, b: int, k: int, overlap: int) -> int:
@@ -63,13 +64,23 @@ def compose_tiles_batch(
 
 @dataclass
 class TileTable:
-    """Sorted tile codes with raw (Oc) and high-quality (Og) counts."""
+    """Sorted tile codes with raw (Oc) and high-quality (Og) counts.
+
+    Like :class:`~repro.kmer.spectrum.KmerSpectrum`, an optional Bloom
+    prefilter can front the sorted-array lookup: rejected codes are
+    answered ``(0, 0)`` without the binary search, and zero false
+    negatives mean attaching one never changes any answer.
+    """
 
     k: int
     overlap: int
     tiles: np.ndarray
     oc: np.ndarray
     og: np.ndarray
+    #: Optional Bloom prefilter over ``tiles`` (never affects results).
+    prefilter: BloomPrefilter | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def tile_length(self) -> int:
@@ -82,6 +93,16 @@ class TileTable:
     def __len__(self) -> int:
         return self.n_tiles
 
+    def with_prefilter(self, fp_rate: float = 0.01) -> "TileTable":
+        """Copy of this table (sharing its arrays) with a Bloom
+        prefilter built over its tile codes; returns ``self`` if one is
+        already attached."""
+        if self.prefilter is not None:
+            return self
+        return replace(
+            self, prefilter=BloomPrefilter.from_codes(self.tiles, fp_rate)
+        )
+
     def lookup(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized ``(Oc, Og)`` for an array of tile codes (0 absent)."""
         codes = np.asarray(codes, dtype=np.uint64)
@@ -91,6 +112,18 @@ class TileTable:
             # IndexError on tiles[idx_c].
             zeros = np.zeros(codes.shape, dtype=np.int64)
             return zeros, zeros.copy()
+        if self.prefilter is not None and codes.size >= MIN_PREFILTER_BATCH:
+            maybe = self.prefilter.maybe_contains(codes)
+            oc = np.zeros(codes.shape, dtype=np.int64)
+            og = np.zeros(codes.shape, dtype=np.int64)
+            if np.any(maybe):
+                sub = codes[maybe]
+                idx = np.searchsorted(self.tiles, sub)
+                idx_c = np.minimum(idx, self.tiles.size - 1)
+                found = self.tiles[idx_c] == sub
+                oc[maybe] = np.where(found, self.oc[idx_c], 0)
+                og[maybe] = np.where(found, self.og[idx_c], 0)
+            return oc, og
         idx = np.searchsorted(self.tiles, codes)
         idx_c = np.minimum(idx, self.tiles.size - 1)
         found = self.tiles[idx_c] == codes
@@ -117,6 +150,39 @@ class TileTable:
         if not 0.0 < fraction < 1.0:
             raise ValueError("fraction must be in (0, 1)")
         return int(np.quantile(self.og, 1.0 - fraction))
+
+
+def tile_og_rows(
+    block: np.ndarray, table: TileTable
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched per-window tile codes and Og counts for a code block.
+
+    ``block`` is an ``(n, L)`` matrix of 2-bit base codes (values >= 4
+    mark ambiguous bases).  Returns ``(tile_codes, og)``, both of shape
+    ``(n, L - tile_length + 1)``: every window position of every row is
+    packed and looked up in one vectorized pass.  Windows touching an
+    ambiguous base get ``og = -1`` (their tile code is meaningless and
+    must not be consulted).
+
+    This is the chunk-level kernel behind the batched tiling walk: the
+    scalar path packs and looks up one tile at a time inside the
+    per-read Python loop; this computes the same numbers for a whole
+    chunk up front.
+    """
+    tlen = table.tile_length
+    block = np.asarray(block)
+    n, width = block.shape
+    if width - tlen + 1 <= 0:
+        return (
+            np.empty((n, 0), dtype=np.uint64),
+            np.empty((n, 0), dtype=np.int64),
+        )
+    valid = valid_kmer_mask(block, tlen)
+    safe = np.where(block < 4, block, 0)
+    codes = kmer_codes_from_reads(safe, tlen)
+    _, og = table.lookup(codes)
+    og = np.where(valid, og, -1)
+    return codes, og
 
 
 def tile_table_from_reads(

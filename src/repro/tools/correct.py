@@ -26,6 +26,7 @@ from .common import (
     add_telemetry_flags,
     deprecation_note,
     memory_size,
+    positive_int,
     telemetry_session,
 )
 
@@ -71,10 +72,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--tmp-dir", type=Path, default=None,
         help="directory for spill files (default: system temp)",
     )
+    h = p.add_argument_group(
+        "hot-path ablation",
+        "All three fast paths are exact (byte-identical output); these "
+        "switches exist for perf ablation and debugging. See "
+        "docs/performance.md.",
+    )
+    h.add_argument(
+        "--no-batch-kernels", action="store_true",
+        help="disable the chunk-batched tile precompute and the "
+             "og>=cg short-circuit (legacy per-tile scalar path)",
+    )
+    h.add_argument(
+        "--no-memo-cache", action="store_true",
+        help="disable the bounded (tile, d1, d2) -> rule memo cache",
+    )
+    h.add_argument(
+        "--no-prefilter", action="store_true",
+        help="disable the Bloom prefilter in front of spectrum/tile "
+             "membership lookups",
+    )
+    h.add_argument(
+        "--memo-capacity", type=positive_int, default=None, metavar="N",
+        help="memo cache entries per worker before bulk eviction "
+             "(default 1048576)",
+    )
+    h.add_argument(
+        "--prefilter-fp-rate", type=float, default=None, metavar="P",
+        help="target Bloom false-positive rate (default 0.01)",
+    )
     add_parallel_flags(p)
     add_reliability_flags(p)
     add_telemetry_flags(p)
     return p
+
+
+def hotpath_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.core.hotpath.HotpathConfig` selected by
+    the ablation flags."""
+    from ..core.hotpath import HotpathConfig
+
+    extra = {}
+    if getattr(args, "memo_capacity", None) is not None:
+        extra["memo_capacity"] = args.memo_capacity
+    if getattr(args, "prefilter_fp_rate", None) is not None:
+        extra["prefilter_fp_rate"] = args.prefilter_fp_rate
+    return HotpathConfig(
+        batch=not getattr(args, "no_batch_kernels", False),
+        memo=not getattr(args, "no_memo_cache", False),
+        prefilter=not getattr(args, "no_prefilter", False),
+        **extra,
+    )
 
 
 def _build_corrector(method: str, reads, k, genome_length):
@@ -173,11 +221,19 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
         genome_length_estimate=args.genome_length,
     )
     k_final = args.k if args.k is not None else sel_params.k
+    hotpath = hotpath_from_args(args)
+    # The final-structure accumulators build the Bloom prefilters as
+    # part of the same accumulation pass (the selection-only table
+    # never serves lookups and needs none).
+    prefilter_fp = (
+        hotpath.prefilter_fp_rate if hotpath.prefilter else None
+    )
     with telemetry.span("fit", method=args.method, k=k_final):
         spec_acc = SpectrumAccumulator(
             k_final,
             max_memory_bytes=args.max_memory,
             tmp_dir=args.tmp_dir,
+            prefilter_fp_rate=prefilter_fp,
         )
         accs = [spec_acc]
         sel_tiles_acc = TileAccumulator(
@@ -186,6 +242,9 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
             quality_cutoff=sel_params.qc,
             max_memory_bytes=args.max_memory,
             tmp_dir=args.tmp_dir,
+            prefilter_fp_rate=(
+                prefilter_fp if k_final == sel_params.k else None
+            ),
         )
         accs.append(sel_tiles_acc)
         final_tiles_acc = sel_tiles_acc
@@ -196,6 +255,7 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
                 quality_cutoff=sel_params.qc,
                 max_memory_bytes=args.max_memory,
                 tmp_dir=args.tmp_dir,
+                prefilter_fp_rate=prefilter_fp,
             )
             accs.append(final_tiles_acc)
         with telemetry.span("stream.phase1"):
@@ -213,7 +273,7 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
 
             params = replace(params, k=args.k)
         corrector = ReptileCorrector(
-            params=params, spectrum=spectrum, tiles=tiles
+            params=params, spectrum=spectrum, tiles=tiles, hotpath=hotpath
         )
     spill = sum(acc.spill_bytes for acc in accs)
     tel.registry.gauge("spill_bytes", spill)
@@ -294,7 +354,11 @@ def _run(args: argparse.Namespace, tel) -> int:
     def _correct():
         with telemetry.span("fit", method=args.method):
             corrector = build_corrector(
-                args.method, reads, k=args.k, genome_length=args.genome_length
+                args.method,
+                reads,
+                k=args.k,
+                genome_length=args.genome_length,
+                hotpath=hotpath_from_args(args),
             )
         if supports_chunking(corrector):
             # The chunk loop is bitwise identical to whole-set

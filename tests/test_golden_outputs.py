@@ -18,6 +18,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 _spec = importlib.util.spec_from_file_location(

@@ -49,12 +49,15 @@ def test_complete_neighbors_d2_size():
 @given(kcodes, st.integers(0, 2))
 def test_complete_neighbors_exact_ball(code, d):
     k = 10
+    # Default excludes self (unified include_self=False defaults).
     ball = set(complete_neighbors(code, k, d).tolist())
-    # Every member is within distance d; self included.
-    assert code in ball
+    assert code not in ball
     for x in list(ball)[:50]:
-        assert kmer_hamming_scalar(code, x) <= d
+        assert 1 <= kmer_hamming_scalar(code, x) <= d or d == 0
     assert len(ball) == neighborhood_size(k, d)
+    with_self = set(complete_neighbors(code, k, d, include_self=True).tolist())
+    assert code in with_self
+    assert with_self == ball | {code}
 
 
 def test_xor_patterns_give_distances():
@@ -62,7 +65,7 @@ def test_xor_patterns_give_distances():
     pats = xor_patterns(k, d)
     dists = [kmer_hamming_scalar(0, int(p)) for p in pats.tolist()]
     assert min(dists) == 1 and max(dists) == 2
-    assert len(pats) == neighborhood_size(k, d) - 1
+    assert len(pats) == neighborhood_size(k, d)
 
 
 def _spectrum(seqs, k):
@@ -143,6 +146,40 @@ def test_masked_index_memory_reporting():
 
 
 def test_neighborhood_size_formula():
-    assert neighborhood_size(5, 0) == 1
-    assert neighborhood_size(5, 1) == 16
-    assert neighborhood_size(5, 2) == 1 + 15 + 10 * 9
+    # Self is excluded by default (unified include_self=False).
+    assert neighborhood_size(5, 0) == 0
+    assert neighborhood_size(5, 1) == 15
+    assert neighborhood_size(5, 2) == 15 + 10 * 9
+    assert neighborhood_size(5, 0, include_self=True) == 1
+    assert neighborhood_size(5, 1, include_self=True) == 16
+    assert neighborhood_size(5, 2, include_self=True) == 1 + 15 + 10 * 9
+
+
+@pytest.mark.parametrize("k,d", [(3, 0), (3, 1), (4, 2), (5, 1), (6, 2)])
+@pytest.mark.parametrize("include_self", [False, True])
+def test_complete_neighbors_size_pins_formula(k, d, include_self):
+    """Regression for the unified include_self defaults: enumeration and
+    closed form agree under BOTH flag values for small (k, d)."""
+    ball = complete_neighbors(1, k, d, include_self=include_self)
+    assert len(ball) == neighborhood_size(k, d, include_self=include_self)
+    assert len(set(ball.tolist())) == ball.size
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+@pytest.mark.parametrize("k", [8, 16, 24, 31])
+def test_neighbors_d1_batch_matches_scalar_large_k(k, data):
+    """Batch and scalar d1 enumeration agree element-wise for random
+    codes at every supported k — guards uint64 bit-width overflow at
+    k near the 31-base packing limit."""
+    n = data.draw(st.integers(1, 8))
+    codes = np.array(
+        [data.draw(st.integers(0, 4**k - 1)) for _ in range(n)],
+        dtype=np.uint64,
+    )
+    for include_self in (False, True):
+        batch = neighbors_d1_batch(codes, k, include_self=include_self)
+        assert batch.shape == (n, 3 * k + (1 if include_self else 0))
+        for i, c in enumerate(codes.tolist()):
+            single = neighbors_d1(int(c), k, include_self=include_self)
+            assert batch[i].tolist() == single.tolist()

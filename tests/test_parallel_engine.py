@@ -48,7 +48,17 @@ def _assert_reports_identical(a, b) -> None:
     assert np.array_equal(a.reads.codes, b.reads.codes)
     assert np.array_equal(a.reads.lengths, b.reads.lengths)
     assert a.reads.names == b.reads.names  # read order preserved
-    assert a.counters.as_dict() == b.counters.as_dict()
+    ca, cb = a.counters.as_dict(), b.counters.as_dict()
+    # The memo cache's hit/miss *split* depends on cache warmth (a
+    # prior run on the same corrector, or how chunks land on forked
+    # workers), but the total number of consultations is a pure
+    # function of the walk and must match exactly.
+    for d in (ca, cb):
+        d["hotpath.memo_lookups"] = d.pop("hotpath.memo_hits", 0) + d.pop(
+            "hotpath.memo_misses", 0
+        )
+        d.pop("hotpath.memo_evictions", None)
+    assert ca == cb
 
 
 @pytest.fixture(scope="module")

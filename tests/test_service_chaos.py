@@ -35,6 +35,8 @@ from repro.service.runner import (
 from repro.tools.correct import main as correct_main
 from repro.tools.simulate import main as simulate_main
 
+pytestmark = [pytest.mark.chaos, pytest.mark.slow]
+
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 
