@@ -9,7 +9,12 @@ adopted if the durability tax is small.  Two measurements:
   transaction, so this is a floor, not a ceiling);
 - **end-to-end overhead**: one correction run through the full worker
   path (claim, leases, checkpoints, atomic publish) versus the direct
-  in-process `repro correct` equivalent — the headline number.
+  in-process `repro correct` equivalent — the headline number;
+- **warm-pool speedup**: the same job submitted twice to one worker —
+  the second run must hit the shared :class:`SpectrumPool` (skipping
+  the spectrum fit entirely) and finish measurably faster, with
+  byte-identical output.  This is asserted, not just reported: a
+  regression that silently stops pooling fails the bench.
 
 Usage::
 
@@ -23,7 +28,7 @@ import threading
 import time
 
 from repro import telemetry
-from repro.service import JobStore, ServeWorker
+from repro.service import JobStore, ServeWorker, SpectrumPool
 from repro.service.spec import JobSpec
 from repro.tools.correct import main as correct_main
 from repro.tools.simulate import main as simulate_main
@@ -127,6 +132,59 @@ def run_service_overhead(tmp, genome_length: int, coverage: float) -> list[dict]
     }]
 
 
+def run_pool_warmup(tmp, genome_length: int, coverage: float) -> list[dict]:
+    """Cold vs warm run of an identical job through one worker."""
+    data = tmp / "pool-data"
+    rc = simulate_main([
+        str(data), "--genome-length", str(genome_length),
+        "--coverage", str(coverage), "--seed", "11",
+    ])
+    assert rc == 0
+    reads = data / "reads.fastq"
+
+    spool = tmp / "pool-spool"
+    pool = SpectrumPool()
+    worker = ServeWorker(
+        spool, lease_seconds=30.0, poll_seconds=0.01, pool=pool
+    )
+    walls = []
+    outs = []
+    for n in ("cold", "warm"):
+        out = tmp / f"pool-{n}.fastq"
+        outs.append(out)
+        worker.store.submit(JobSpec(
+            input=str(reads), output=str(out), chunk_size=256,
+        ))
+        t0 = time.perf_counter()
+        rc = worker.run(max_jobs=1)
+        walls.append(time.perf_counter() - t0)
+        assert rc == 0
+    worker.store.close()
+
+    stats = pool.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1, (
+        f"second identical job must reuse the pooled spectrum, "
+        f"got {stats}"
+    )
+    assert outs[0].read_bytes() == outs[1].read_bytes(), (
+        "pool-hit output must be byte-identical to the cold run"
+    )
+    assert walls[1] < walls[0], (
+        f"warm run ({walls[1]:.3f}s) must beat the cold run "
+        f"({walls[0]:.3f}s) — the spectrum fit it skips dominates"
+    )
+    speedup = walls[0] / walls[1]
+    return [{
+        "run": "cold (fit + correct)",
+        "wall_s": round(walls[0], 3),
+        "speedup": "-",
+    }, {
+        "run": "warm (pool hit, correct only)",
+        "wall_s": round(walls[1], 3),
+        "speedup": f"{speedup:.2f}x",
+    }]
+
+
 def main(argv: list[str] | None = None) -> int:
     import tempfile
     from pathlib import Path
@@ -159,13 +217,22 @@ def main(argv: list[str] | None = None) -> int:
                 overhead_rows = run_service_overhead(
                     tmp, args.genome_length, args.coverage
                 )
+            with telemetry.span("pool_warmup"):
+                pool_rows = run_pool_warmup(
+                    tmp, args.genome_length, args.coverage
+                )
     _print_rows(
         f"Job-store cycle throughput ({args.jobs} jobs, WAL + fsync)",
         store_rows,
     )
     _print_rows("End-to-end service overhead", overhead_rows)
+    _print_rows("Warm spectrum pool (identical job, same worker)", pool_rows)
     print(
         "equivalence: service output byte-identical to direct correction"
+    )
+    print(
+        "pool: second identical job hit the warm spectrum and beat "
+        "the cold run"
     )
     if args.report:
         path = tel.report(
@@ -173,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
             extra={
                 "store_throughput": store_rows,
                 "service_overhead": overhead_rows,
+                "pool_warmup": pool_rows,
             },
         ).write(args.report)
         print(f"wrote run report to {path}")

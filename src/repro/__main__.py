@@ -41,9 +41,17 @@ COMMANDS: dict[str, tuple[str, str]] = {
         "repro.service.serve",
         "run a durable correction job worker over a spool",
     ),
+    "serve-http": (
+        "repro.service.http",
+        "serve the HTTP/JSON job API (plus embedded workers)",
+    ),
     "jobs": (
         "repro.service.cli",
         "submit / inspect / retry durable correction jobs",
+    ),
+    "validate-job": (
+        "repro.service.spec",
+        "validate repro-job/1 wire JSON against the schema",
     ),
 }
 

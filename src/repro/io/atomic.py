@@ -34,6 +34,7 @@ __all__ = [
     "atomic_writer",
     "atomic_write_text",
     "atomic_write_json",
+    "ensure_dir",
     "publish_file",
     "fsync_path",
 ]
@@ -80,6 +81,24 @@ def fsync_path(path: str | Path) -> None:
         os.fsync(fd)
     finally:
         os.close(fd)
+
+
+def ensure_dir(path: str | Path, do_fsync: bool = True) -> Path:
+    """Durably create a directory (and its parents); returns the path.
+
+    ``mkdir -p`` plus directory fsyncs, so a spool or artifact
+    directory created moments before a crash still exists afterwards.
+    Raises ``OSError`` with the underlying reason (EACCES, EROFS,
+    ENOTDIR, ...) when the path cannot be created — callers turn that
+    into a clear user-facing error instead of a traceback.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    if do_fsync:
+        _fsync_dir(path)
+        if str(path.parent) not in ("", ".") and path.parent != path:
+            _fsync_dir(path.parent)
+    return path
 
 
 @contextmanager

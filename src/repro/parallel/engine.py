@@ -246,6 +246,7 @@ def correct_stream(
     policy: RetryPolicy | None = None,
     counters: Counters | None = None,
     spectrum_backing: str = "inherit",
+    pool_hit: bool | None = None,
 ):
     """Drive the chunk loop over a *stream* of ReadSet blocks.
 
@@ -268,6 +269,7 @@ def correct_stream(
             policy=policy,
             counters=counters,
             spectrum_backing=spectrum_backing,
+            pool_hit=pool_hit,
         )
         telemetry.count("stream_blocks")
         telemetry.count("stream_reads", block.n_reads)
@@ -282,6 +284,7 @@ def correct_in_parallel(
     policy: RetryPolicy | None = None,
     counters: Counters | None = None,
     spectrum_backing: str = "inherit",
+    pool_hit: bool | None = None,
 ) -> ParallelRunReport:
     """Correct ``reads`` in ``chunk_size`` batches across ``workers``
     processes; bitwise identical to the serial path.
@@ -291,6 +294,13 @@ def correct_in_parallel(
     the run (restored afterwards); ``"inherit"`` relies on fork
     copy-on-write.  Platforms without fork — and ``workers=1`` — take
     the serial fallback through the identical chunk loop.
+
+    ``pool_hit`` records spectrum provenance when the corrector came
+    from the service's :class:`~repro.service.pool.SpectrumPool`
+    (True: reused warm, False: freshly built into the pool, None: no
+    pool involved).  It only annotates the run span/counters — a
+    pooled corrector is handed to forked workers copy-on-write exactly
+    like a freshly fitted one, so no execution path changes.
     """
     if spectrum_backing not in ("inherit", "shared"):
         raise ValueError(
@@ -329,6 +339,10 @@ def correct_in_parallel(
         chunks=len(bounds),
         mode="parallel" if use_pool else "serial",
         corrector=type(corrector).__name__,
+        spectrum_provenance=(
+            "fitted" if pool_hit is None
+            else ("pool-hit" if pool_hit else "pool-miss")
+        ),
     ):
         try:
             if use_pool:

@@ -9,12 +9,28 @@ worker killed at *any* instant — ``kill -9`` included — loses at most
 the work since its last durable checkpoint; the job is reclaimed
 after its lease lapses and the retry produces byte-identical output.
 
-CLI surfaces: ``python -m repro serve`` (:mod:`~repro.service.serve`)
-and ``python -m repro jobs`` (:mod:`~repro.service.cli`).  See
-``docs/service.md`` for the state machine and operational guide.
+The service fronts three layers of API:
+
+- **wire** — versioned ``repro-job/1`` JSON envelopes
+  (:mod:`~repro.service.spec`), validated on both ends;
+- **HTTP** — ``python -m repro serve-http``
+  (:mod:`~repro.service.http`) serves the envelopes at ``/v1/...``
+  with per-tenant rate limiting and embedded workers sharing a warm
+  :class:`~repro.service.pool.SpectrumPool`;
+- **client** — :class:`~repro.service.client.JobsClient` runs the
+  same verbs over HTTP or in-process, which is what ``python -m repro
+  jobs`` (:mod:`~repro.service.cli`) rides on.
+
+CLI surfaces: ``python -m repro serve`` (:mod:`~repro.service.serve`),
+``python -m repro serve-http``, ``python -m repro jobs``, and
+``python -m repro validate-job``.  See ``docs/service.md`` for the
+state machine, HTTP API, and operational guide.
 """
 
-from .spec import JobSpec
+from .client import HTTPTransport, Job, JobsClient, LocalTransport, \
+    ServiceError, TransportError
+from .pool import PoolEntry, SpectrumPool
+from .spec import DEFAULT_TENANT, JOB_SCHEMA_VERSION, JobSpec
 from .store import (
     CANCELLED,
     FAILED,
@@ -26,7 +42,8 @@ from .store import (
     JobStore,
     LeaseLost,
 )
-from .worker import DB_NAME, ServeWorker
+from .tenants import TenantRateLimiter, TokenBucket
+from .worker import DB_NAME, ServeWorker, SpoolError, open_spool_store
 
 __all__ = [
     "JobSpec",
@@ -34,6 +51,8 @@ __all__ = [
     "JobRecord",
     "LeaseLost",
     "ServeWorker",
+    "SpoolError",
+    "open_spool_store",
     "DB_NAME",
     "STATES",
     "PENDING",
@@ -41,4 +60,16 @@ __all__ = [
     "SUCCEEDED",
     "FAILED",
     "CANCELLED",
+    "DEFAULT_TENANT",
+    "JOB_SCHEMA_VERSION",
+    "Job",
+    "JobsClient",
+    "HTTPTransport",
+    "LocalTransport",
+    "ServiceError",
+    "TransportError",
+    "SpectrumPool",
+    "PoolEntry",
+    "TokenBucket",
+    "TenantRateLimiter",
 ]

@@ -1,18 +1,27 @@
 """``repro jobs`` — submit and operate on durable correction jobs.
 
-The operator surface of the service::
+The operator surface of the service, now a thin skin over
+:class:`repro.service.client.JobsClient`::
 
     python -m repro jobs --spool spool/ submit in.fastq out.fastq \\
         --stream --workers 4 --max-attempts 5
-    python -m repro jobs --spool spool/ list
+    python -m repro jobs --url http://127.0.0.1:8765 list
     python -m repro jobs --spool spool/ status job-000001 --json
+    python -m repro jobs --url http://127.0.0.1:8765 result job-000001 out.fastq
     python -m repro jobs --spool spool/ retry job-000001
     python -m repro jobs --spool spool/ cancel job-000002
 
-``submit`` mirrors the ``repro correct`` flag surface (a job spec *is*
-a serialized correct invocation); the remaining verbs are thin,
-scriptable wrappers over single store transactions, so they are safe
-to run while workers are live.
+``--spool DIR`` operates the store in-process (no server needed);
+``--url BASE`` sends the same verbs to a ``repro serve-http`` server —
+output is identical either way, because both paths run the same
+:class:`~repro.service.http.ServiceAPI` verbs and ``repro-job/1``
+envelopes.  ``submit`` mirrors the ``repro correct`` flag surface (a
+job spec *is* a serialized correct invocation); the remaining verbs
+are single service calls, safe to run while workers are live.
+
+``--store DB_PATH`` (deprecated) still opens a job database file
+directly, bypassing the client layer, for scripts written against the
+pre-HTTP CLI.
 """
 
 from __future__ import annotations
@@ -20,13 +29,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from pathlib import Path
 
 from ..core.api import available_methods
 from ..tools.common import memory_size
-from .spec import JobSpec
-from .store import STATES, JobRecord, JobStore
-from .worker import DB_NAME
+from .client import HTTPTransport, JobsClient, LocalTransport, \
+    ServiceError, TransportError
+from .spec import DEFAULT_TENANT, JobSpec
+from .store import STATES, JobStore
+from .worker import SpoolError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,9 +46,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-jobs",
         description="Operate the durable correction job queue.",
     )
-    p.add_argument(
-        "--spool", type=Path, required=True,
-        help="spool directory holding the job store",
+    where = p.add_mutually_exclusive_group(required=True)
+    where.add_argument(
+        "--spool", type=Path, default=None,
+        help="spool directory holding the job store (operated "
+             "in-process; created if missing)",
+    )
+    where.add_argument(
+        "--url", default=None, metavar="BASE_URL",
+        help="base URL of a `repro serve-http` server "
+             "(e.g. http://127.0.0.1:8765)",
+    )
+    where.add_argument(
+        "--store", type=Path, default=None, metavar="DB_PATH",
+        help="(deprecated) open a job database file directly, "
+             "bypassing the service API",
     )
     sub = p.add_subparsers(dest="verb", required=True)
 
@@ -62,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a repro-run-report/1 JSON here on finish")
     s.add_argument("--max-attempts", type=int, default=3,
                    help="attempts before the job fails for good")
+    s.add_argument("--tenant", default=DEFAULT_TENANT,
+                   help="tenant queue to file the job under "
+                        "(fair-share claiming; default %(default)r)")
     s.add_argument("--label", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="free-form label (repeatable)")
@@ -72,6 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls = sub.add_parser("list", help="list jobs (optionally by state)")
     ls.add_argument("--state", choices=list(STATES), default=None)
+    ls.add_argument("--tenant", default=None,
+                    help="only this tenant's jobs")
     ls.add_argument("--json", action="store_true")
 
     r = sub.add_parser("retry", help="requeue a failed/cancelled job")
@@ -79,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = sub.add_parser("cancel", help="cancel a pending/running job")
     c.add_argument("job_id")
+
+    res = sub.add_parser(
+        "result", help="fetch a succeeded job's corrected FASTQ"
+    )
+    res.add_argument("job_id")
+    res.add_argument("dest", type=Path,
+                     help="write the corrected reads here (atomically)")
     return p
 
 
@@ -92,7 +128,8 @@ def _parse_labels(pairs: list[str]) -> dict:
     return labels
 
 
-def _render(record: JobRecord) -> str:
+def _render(record) -> str:
+    """One status line; accepts a JobRecord or a client Job alike."""
     lease = ""
     if record.lease_owner:
         lease = f" lease={record.lease_owner}"
@@ -104,45 +141,172 @@ def _render(record: JobRecord) -> str:
     )
 
 
+def _build_spec(args: argparse.Namespace) -> JobSpec | None:
+    """The submit verb's JobSpec, or None after printing a clear error."""
+    stream = args.stream or args.max_memory is not None
+    if stream and args.method != "reptile":
+        # Surface the implication before JobSpec.validate turns it
+        # into a confusing "stream jobs ..." rejection for a user
+        # who never passed --stream.
+        lead = (
+            "--stream supports" if args.stream
+            else "--max-memory implies --stream, which supports"
+        )
+        print(
+            f"error: {lead} the reptile method only "
+            f"(got --method {args.method})",
+            file=sys.stderr,
+        )
+        return None
+    return JobSpec(
+        input=args.input,
+        output=args.output,
+        method=args.method,
+        k=args.k,
+        genome_length=args.genome_length,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        stream=stream,
+        max_memory=args.max_memory,
+        on_error=args.on_error,
+        report=args.report,
+        labels=_parse_labels(args.label),
+    )
+
+
+def _client_for(args: argparse.Namespace) -> JobsClient:
+    if args.url is not None:
+        return JobsClient(HTTPTransport(args.url))
+    from .http import ServiceAPI
+
+    return JobsClient(LocalTransport(ServiceAPI(args.spool)))
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
-    with JobStore(Path(args.spool) / DB_NAME) as store:
-        return _dispatch(args, store)
+    if args.store is not None:
+        warnings.warn(
+            "repro jobs --store is deprecated; use --spool DIR (same "
+            "behavior through the service API) or --url for a live "
+            "server",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with JobStore(args.store) as store:
+            return _dispatch(args, store)
+    try:
+        client = _client_for(args)
+    except SpoolError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    try:
+        return _run(args, client)
+    except TransportError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    finally:
+        api = getattr(getattr(client, "transport", None), "api", None)
+        if api is not None:
+            api.close()
+
+
+def _run(args: argparse.Namespace, client: JobsClient) -> int:
+    """Execute one verb through the client; byte-compatible output."""
+    if args.verb == "submit":
+        spec = _build_spec(args)
+        if spec is None:
+            return 2
+        try:
+            job = client.submit(
+                spec, tenant=args.tenant, max_attempts=args.max_attempts
+            )
+        except ServiceError as e:
+            print(f"error: {e.message}", file=sys.stderr)
+            return 1
+        print(job.id)
+        return 0
+
+    if args.verb == "status":
+        try:
+            job = client.get(args.job_id)
+        except ServiceError:
+            print(f"no such job: {args.job_id}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(job.raw, indent=2, sort_keys=True))
+        else:
+            print(_render(job))
+        return 0
+
+    if args.verb == "list":
+        jobs, counts = client.list(state=args.state, tenant=args.tenant)
+        if args.json:
+            print(json.dumps(
+                [job.raw for job in jobs], indent=2, sort_keys=True
+            ))
+        else:
+            for job in jobs:
+                print(_render(job))
+            print(
+                "totals: "
+                + " ".join(f"{s}={n}" for s, n in counts.items() if n)
+            )
+        return 0
+
+    if args.verb == "retry":
+        try:
+            client.retry(args.job_id)
+        except ServiceError:
+            print(
+                f"{args.job_id}: not retryable (must exist and be "
+                "failed/cancelled)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.job_id} requeued")
+        return 0
+
+    if args.verb == "cancel":
+        try:
+            client.cancel(args.job_id)
+        except ServiceError:
+            print(
+                f"{args.job_id}: not cancellable (must exist and be "
+                "pending/running)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.job_id} cancelled")
+        return 0
+
+    if args.verb == "result":
+        try:
+            dest = client.result(args.job_id, args.dest)
+        except ServiceError as e:
+            print(f"error: {e.message}", file=sys.stderr)
+            return 1
+        print(dest)
+        return 0
+
+    raise AssertionError(f"unhandled verb {args.verb!r}")
 
 
 def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
+    """Deprecated direct-store dispatch (the pre-HTTP CLI's core).
+
+    Kept byte-for-byte behavior-compatible for scripts that import it
+    or run ``--store``; everything else goes through :func:`_run`.
+    """
     if args.verb == "submit":
-        stream = args.stream or args.max_memory is not None
-        if stream and args.method != "reptile":
-            # Surface the implication before JobSpec.validate turns it
-            # into a confusing "stream jobs ..." rejection for a user
-            # who never passed --stream.
-            lead = (
-                "--stream supports" if args.stream
-                else "--max-memory implies --stream, which supports"
-            )
-            print(
-                f"error: {lead} the reptile method only "
-                f"(got --method {args.method})",
-                file=sys.stderr,
-            )
+        spec = _build_spec(args)
+        if spec is None:
             return 2
-        spec = JobSpec(
-            input=args.input,
-            output=args.output,
-            method=args.method,
-            k=args.k,
-            genome_length=args.genome_length,
-            workers=args.workers,
-            chunk_size=args.chunk_size,
-            stream=stream,
-            max_memory=args.max_memory,
-            on_error=args.on_error,
-            report=args.report,
-            labels=_parse_labels(args.label),
+        job_id = store.submit(
+            spec,
+            max_attempts=args.max_attempts,
+            tenant=getattr(args, "tenant", DEFAULT_TENANT),
         )
-        job_id = store.submit(spec, max_attempts=args.max_attempts)
         print(job_id)
         return 0
 
@@ -158,7 +322,9 @@ def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
         return 0
 
     if args.verb == "list":
-        records = store.list_jobs(state=args.state)
+        records = store.list_jobs(
+            state=args.state, tenant=getattr(args, "tenant", None)
+        )
         if args.json:
             print(json.dumps(
                 [r.as_dict() for r in records], indent=2, sort_keys=True
@@ -194,6 +360,13 @@ def _dispatch(args: argparse.Namespace, store: JobStore) -> int:
             return 1
         print(f"{args.job_id} cancelled")
         return 0
+
+    if args.verb == "result":
+        print(
+            "result is not supported with --store; use --spool or --url",
+            file=sys.stderr,
+        )
+        return 2
 
     raise AssertionError(f"unhandled verb {args.verb!r}")
 

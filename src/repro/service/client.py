@@ -1,0 +1,413 @@
+"""Layered client API for the correction job service.
+
+:class:`JobsClient` is the one programmatic surface for operating
+jobs; it speaks ``repro-job/1`` envelopes through a pluggable
+transport:
+
+- :class:`HTTPTransport` — talks to a ``repro serve-http`` server over
+  stdlib ``urllib``, retrying connection refusals and 5xx responses
+  with exponential backoff (a server restart mid-poll is invisible);
+- :class:`LocalTransport` — wraps an in-process
+  :class:`~repro.service.http.ServiceAPI` over a spool directory, so
+  scripts and the ``repro jobs`` CLI get the *same* verbs, validation,
+  and error codes with no server running.
+
+Every response envelope is validated against the wire schema before
+use, so a drifting server fails loudly in the client rather than
+producing silently-wrong ``Job`` objects::
+
+    client = JobsClient(HTTPTransport("http://127.0.0.1:8765"))
+    job = client.submit(JobSpec(input="in.fastq", output="out.fastq"))
+    job = client.wait(job.id, timeout=600)
+    client.result(job.id, Path("corrected.fastq"))
+
+Errors the *service* can express (404 not-found, 409 conflict, 429
+rate-limited...) raise :class:`ServiceError`; transport exhaustion
+(server unreachable after retries) raises :class:`TransportError`.
+4xx responses are never retried — they would fail identically again.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Callable, Iterator
+
+from ..io.atomic import atomic_writer
+from . import spec as wire
+from .spec import DEFAULT_TENANT, JobSpec
+
+__all__ = [
+    "Job",
+    "JobsClient",
+    "HTTPTransport",
+    "LocalTransport",
+    "ServiceError",
+    "TransportError",
+    "TERMINAL_STATES",
+]
+
+#: States a job never leaves; :meth:`JobsClient.wait` stops on these.
+TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+
+class ServiceError(Exception):
+    """The service answered with an error envelope (or its local
+    equivalent): the request is wrong, not the connection."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class TransportError(Exception):
+    """The service could not be reached (after retries)."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job's wire state, typed for the common fields.
+
+    ``raw`` holds the exact ``job`` payload the service sent (the
+    :meth:`JobRecord.as_dict` shape), so callers needing byte-stable
+    JSON — the CLI's ``--json`` output — re-serialize it unchanged.
+    """
+
+    raw: dict = field(repr=False)
+
+    @property
+    def id(self) -> str:
+        return self.raw["id"]
+
+    @property
+    def state(self) -> str:
+        return self.raw["state"]
+
+    @property
+    def tenant(self) -> str:
+        return self.raw["tenant"]
+
+    @property
+    def attempts(self) -> int:
+        return self.raw["attempts"]
+
+    @property
+    def max_attempts(self) -> int:
+        return self.raw["max_attempts"]
+
+    @property
+    def error(self) -> str | None:
+        return self.raw["error"]
+
+    @property
+    def result(self) -> dict | None:
+        return self.raw["result"]
+
+    @property
+    def lease_owner(self) -> str | None:
+        return self.raw["lease_owner"]
+
+    @property
+    def spec(self) -> JobSpec:
+        return JobSpec.from_dict(self.raw["spec"])
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+def _raise_for_envelope(status: int, envelope: object) -> None:
+    """Turn an error envelope into the matching :class:`ServiceError`."""
+    code, message = "internal", f"service returned HTTP {status}"
+    if isinstance(envelope, dict):
+        err = envelope.get("error")
+        if isinstance(err, dict):
+            code = str(err.get("code", code))
+            message = str(err.get("message", message))
+    raise ServiceError(status, code, message)
+
+
+class HTTPTransport:
+    """``repro-job/1`` over HTTP via stdlib urllib, with retries.
+
+    Connection failures and 5xx responses are retried up to
+    ``retries`` times with exponential backoff starting at
+    ``backoff`` seconds (``sleep`` is injectable for tests); 4xx
+    responses raise :class:`ServiceError` immediately.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 5,
+        backoff: float = 0.2,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+
+    @contextmanager
+    def _open(
+        self, method: str, path: str, body: object | None = None
+    ) -> Iterator[IO[bytes]]:
+        url = self.base_url + path
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                resp = urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError as e:
+                if e.code >= 500 and attempt < self.retries:
+                    e.close()
+                    self._sleep(self.backoff * (2 ** attempt))
+                    continue
+                try:
+                    payload = json.loads(e.read().decode("utf-8"))
+                except (ValueError, UnicodeDecodeError, OSError):
+                    payload = None
+                finally:
+                    e.close()
+                _raise_for_envelope(e.code, payload)
+            except (urllib.error.URLError, ConnectionError, OSError) as e:
+                # Connection refused / reset: the server may be
+                # restarting — exactly the case retries exist for.
+                if attempt < self.retries:
+                    self._sleep(self.backoff * (2 ** attempt))
+                    continue
+                raise TransportError(
+                    f"cannot reach {url} after "
+                    f"{self.retries + 1} attempt(s): {e}"
+                ) from e
+            try:
+                yield resp
+            finally:
+                resp.close()
+            return
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(
+        self, method: str, path: str, body: object | None = None
+    ) -> dict:
+        with self._open(method, path, body) as resp:
+            try:
+                return json.loads(resp.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as e:
+                raise ServiceError(
+                    502, "bad-response",
+                    f"non-JSON response from {self.base_url}: {e}",
+                ) from None
+
+    # -- verbs (each returns a validated-upstream envelope dict) ------
+    def submit(self, document: dict) -> dict:
+        return self._json("POST", "/v1/jobs", document)
+
+    def get(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def list(
+        self, state: str | None = None, tenant: str | None = None
+    ) -> dict:
+        query = "&".join(
+            f"{key}={value}"
+            for key, value in (("state", state), ("tenant", tenant))
+            if value is not None
+        )
+        return self._json("GET", "/v1/jobs" + (f"?{query}" if query else ""))
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def retry(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/retry")
+
+    def result(self, job_id: str, dest: str | Path) -> Path:
+        dest = Path(dest)
+        with self._open("GET", f"/v1/jobs/{job_id}/result") as resp:
+            with atomic_writer(dest, "wb") as out:
+                while True:
+                    block = resp.read(1 << 20)
+                    if not block:
+                        break
+                    out.write(block)
+        return dest
+
+    def health(self) -> dict:
+        return self._json("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/v1/metrics")
+
+
+class LocalTransport:
+    """The same verb surface served by an in-process
+    :class:`~repro.service.http.ServiceAPI` — no server, no socket.
+
+    ``repro jobs --spool`` rides on this, which is what keeps the CLI
+    and the HTTP path behaviorally identical: both end in the same
+    ``ServiceAPI`` methods and the same wire envelopes.
+    """
+
+    def __init__(self, api) -> None:
+        self.api = api
+
+    def _call(self, fn: Callable[[], tuple[int, dict]]) -> dict:
+        from .http import ApiError
+
+        try:
+            status, envelope = fn()
+        except ApiError as e:
+            raise ServiceError(e.status, e.code, e.message) from None
+        del status
+        return envelope
+
+    def submit(self, document: dict) -> dict:
+        return self._call(lambda: self.api.submit(document))
+
+    def get(self, job_id: str) -> dict:
+        return self._call(lambda: self.api.get(job_id))
+
+    def list(
+        self, state: str | None = None, tenant: str | None = None
+    ) -> dict:
+        return self._call(lambda: self.api.list(state=state, tenant=tenant))
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call(lambda: self.api.cancel(job_id))
+
+    def retry(self, job_id: str) -> dict:
+        return self._call(lambda: self.api.retry(job_id))
+
+    def result(self, job_id: str, dest: str | Path) -> Path:
+        from .http import ApiError
+
+        dest = Path(dest)
+        try:
+            src = self.api.result_path(job_id)
+        except ApiError as e:
+            raise ServiceError(e.status, e.code, e.message) from None
+        with open(src, "rb") as fh:
+            with atomic_writer(dest, "wb") as out:
+                while True:
+                    block = fh.read(1 << 20)
+                    if not block:
+                        break
+                    out.write(block)
+        return dest
+
+    def health(self) -> dict:
+        return self._call(self.api.health)
+
+    def metrics(self) -> dict:
+        return self._call(self.api.metrics)
+
+
+class JobsClient:
+    """High-level, transport-agnostic job operations.
+
+    Every envelope coming back through the transport is validated
+    against the ``repro-job/1`` schema before anything is read out of
+    it; a malformed response raises :class:`ServiceError` with code
+    ``bad-envelope``.
+    """
+
+    def __init__(self, transport) -> None:
+        self.transport = transport
+
+    # -- envelope handling --------------------------------------------
+    @staticmethod
+    def _validated(envelope: dict, expect: str) -> dict:
+        problems = wire.validate_envelope_dict(envelope)
+        if not problems and expect not in envelope:
+            problems = [f"expected a {expect} envelope"]
+        if problems:
+            raise ServiceError(
+                502, "bad-envelope",
+                "invalid service response: " + "; ".join(problems),
+            )
+        return envelope
+
+    def _job(self, envelope: dict) -> Job:
+        return Job(raw=self._validated(envelope, "job")["job"])
+
+    # -- verbs --------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        tenant: str = DEFAULT_TENANT,
+        max_attempts: int = 3,
+        job_id: str | None = None,
+    ) -> Job:
+        document = wire.submit_document(
+            spec, tenant=tenant, max_attempts=max_attempts, job_id=job_id
+        )
+        return self._job(self.transport.submit(document))
+
+    def get(self, job_id: str) -> Job:
+        return self._job(self.transport.get(job_id))
+
+    def list(
+        self, state: str | None = None, tenant: str | None = None
+    ) -> tuple[list[Job], dict[str, int]]:
+        envelope = self._validated(
+            self.transport.list(state=state, tenant=tenant), "jobs"
+        )
+        jobs = [Job(raw=job) for job in envelope["jobs"]]
+        return jobs, dict(envelope.get("counts", {}))
+
+    def cancel(self, job_id: str) -> Job:
+        return self._job(self.transport.cancel(job_id))
+
+    def retry(self, job_id: str) -> Job:
+        return self._job(self.transport.retry(job_id))
+
+    def result(self, job_id: str, dest: str | Path) -> Path:
+        return self.transport.result(job_id, dest)
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll: float = 0.5,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Job:
+        """Poll until the job reaches a terminal state (or timeout).
+
+        Raises :class:`TimeoutError` with the last observed state if
+        ``timeout`` elapses first; transport retries already smooth
+        over server restarts underneath this loop.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job.done:
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still {job.state} after {timeout}s"
+                )
+            sleep(poll)
+
+    def health(self) -> dict[str, int]:
+        envelope = self._validated(self.transport.health(), "health")
+        return dict(envelope["health"]["counts"])
+
+    def metrics(self) -> dict:
+        envelope = self._validated(self.transport.metrics(), "metrics")
+        return envelope["metrics"]

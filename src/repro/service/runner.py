@@ -60,6 +60,7 @@ from ..core.api import build_corrector, supports_chunking
 from ..io.atomic import atomic_write_json, atomic_writer, publish_file
 from ..io.fastq import read_fastq, read_fastq_chunks, write_fastq
 from ..mapreduce.faults import hit_fault_point
+from .pool import SpectrumPool
 from .spec import JobSpec
 from .store import JobRecord
 
@@ -109,6 +110,7 @@ def execute_job(
     record: JobRecord,
     workdir: str | Path,
     tick: Callable[[], None] | None = None,
+    pool: SpectrumPool | None = None,
 ) -> dict:
     """Run one claimed job to completion; returns the result payload.
 
@@ -117,6 +119,11 @@ def execute_job(
     :class:`~repro.service.store.LeaseLost` (abandon now, another
     worker owns the job) or ``KeyboardInterrupt`` (graceful shutdown;
     the last checkpoint is already durable) may be raised.
+
+    ``pool`` is the process-wide warm-spectrum cache: when a prior job
+    fitted the same (input fingerprint, method params) the fit phase —
+    and for stream jobs the whole pass A/B scan — is skipped, and the
+    cached corrector is handed to workers copy-on-write.
     """
     spec = record.spec
     spec.validate()
@@ -129,10 +136,13 @@ def execute_job(
             telemetry.gauge("job_attempt", record.attempts)
             if spec.stream:
                 result = _run_stream_job(
-                    spec, workdir, record.claim_seq, tick
+                    spec, workdir, record.claim_seq, tick, pool
                 )
             else:
-                result = _run_batch_job(spec, tick)
+                result = _run_batch_job(spec, tick, pool)
+            if pool is not None:
+                for name, value in pool.stats().items():
+                    telemetry.gauge(f"pool_{name}", value)
     finally:
         if tel is not None and spec.report:
             tel.report().write(spec.report)
@@ -144,7 +154,19 @@ def _tick(tick: Callable[[], None] | None) -> None:
         tick()
 
 
-def _run_batch_job(spec: JobSpec, tick: Callable[[], None] | None) -> dict:
+def _pool_marker(hit: bool | None) -> None:
+    """Record one job's pool outcome (no-op when no pool is wired)."""
+    if hit is None:
+        return
+    telemetry.count("pool.hit" if hit else "pool.miss")
+    telemetry.gauge("pool_hit", int(hit))
+
+
+def _run_batch_job(
+    spec: JobSpec,
+    tick: Callable[[], None] | None,
+    pool: SpectrumPool | None = None,
+) -> dict:
     """In-memory correction; the single output write is atomic."""
     from ..parallel import correct_in_parallel
 
@@ -155,10 +177,26 @@ def _run_batch_job(spec: JobSpec, tick: Callable[[], None] | None) -> dict:
         )
     telemetry.gauge("reads_input", reads.n_reads)
     _tick(tick)
-    with telemetry.span("fit", method=spec.method):
+
+    def fit():
         corrector = build_corrector(
             spec.method, reads, k=spec.k, genome_length=spec.genome_length
         )
+        return corrector, {"n_reads": int(reads.n_reads)}
+
+    hit: bool | None = None
+    if pool is not None:
+        # Key on the input *content*, not the path: the fingerprint is
+        # hashed before the fit, so a file swapped in place between
+        # jobs misses cleanly instead of reusing a stale spectrum.
+        key = pool.key_for(spec)
+        with telemetry.span("fit", method=spec.method):
+            entry, hit = pool.get_or_build(key, fit)
+        corrector = entry.corrector
+    else:
+        with telemetry.span("fit", method=spec.method):
+            corrector, _meta = fit()
+    _pool_marker(hit)
     hit_fault_point("service.fitted")
     _tick(tick)
     with telemetry.span("correct", method=spec.method):
@@ -168,6 +206,7 @@ def _run_batch_job(spec: JobSpec, tick: Callable[[], None] | None) -> dict:
                 reads,
                 workers=spec.workers,
                 chunk_size=spec.chunk_size,
+                pool_hit=hit,
             )
             corrected = report.reads
         else:
@@ -182,6 +221,7 @@ def _run_batch_job(spec: JobSpec, tick: Callable[[], None] | None) -> dict:
         "reads": int(reads.n_reads),
         "bases_changed": n_changed,
         "resumed_reads": 0,
+        "pool_hit": int(bool(hit)),
         **{k: int(v) for k, v in error_counts.items()},
     }
 
@@ -289,20 +329,17 @@ def _prune_stale_work_files(workdir: Path, claim_seq: int) -> None:
                 path.unlink(missing_ok=True)
 
 
-def _run_stream_job(
+def _fit_stream_corrector(
     spec: JobSpec,
     workdir: Path,
-    claim_seq: int,
     tick: Callable[[], None] | None,
-) -> dict:
-    """Out-of-core correction with block-granular crash recovery.
+    chunks: Callable,
+) -> tuple[object, dict]:
+    """Passes A and B of a stream job: statistics, then phase-1 fit.
 
-    Mirrors ``repro correct --stream`` (pass A statistics, pass B
-    phase-1 structures, pass C chunked correction) but stages output
-    through this claim's ``partial.<seq>.fastq`` with an atomic
-    checkpoint after every durable block, then publishes with one
-    rename.  ``claim_seq`` fences the work files: see the module
-    docstring for the zombie story.
+    Returns ``(corrector, meta)`` in the shape
+    :meth:`~repro.service.pool.SpectrumPool.get_or_build` expects, so
+    the whole two-pass scan is skipped on a warm-pool hit.
     """
     import numpy as np
 
@@ -317,23 +354,8 @@ def _run_stream_job(
         TileAccumulator,
         build_from_chunks,
     )
-    from ..parallel import correct_stream
 
-    block_reads = spec.chunk_size * spec.workers
-    fingerprint = spec.fingerprint()
-    partial = partial_path(workdir, claim_seq)
-    ckpt_path = checkpoint_path(workdir, claim_seq)
-
-    def chunks(error_counts=None):
-        return read_fastq_chunks(
-            spec.input,
-            block_reads,
-            on_error=spec.on_error,
-            error_counts=error_counts,
-        )
-
-    # Pass A — streamed parameter statistics (always recomputed: it is
-    # deterministic and cheap relative to keeping it crash-safe).
+    # Pass A — streamed parameter statistics.
     qhist = np.zeros(0, dtype=np.int64)
     n_reads = 0
     with telemetry.span("stream.scan", path=spec.input):
@@ -388,6 +410,55 @@ def _run_stream_job(
         corrector = ReptileCorrector(
             params=params, spectrum=spectrum, tiles=tiles
         )
+    return corrector, {"n_reads": int(n_reads)}
+
+
+def _run_stream_job(
+    spec: JobSpec,
+    workdir: Path,
+    claim_seq: int,
+    tick: Callable[[], None] | None,
+    pool: SpectrumPool | None = None,
+) -> dict:
+    """Out-of-core correction with block-granular crash recovery.
+
+    Mirrors ``repro correct --stream`` (pass A statistics, pass B
+    phase-1 structures, pass C chunked correction) but stages output
+    through this claim's ``partial.<seq>.fastq`` with an atomic
+    checkpoint after every durable block, then publishes with one
+    rename.  ``claim_seq`` fences the work files: see the module
+    docstring for the zombie story.  With a warm ``pool``, a repeat
+    job skips passes A and B outright.
+    """
+    from ..parallel import correct_stream
+
+    block_reads = spec.chunk_size * spec.workers
+    fingerprint = spec.fingerprint()
+    partial = partial_path(workdir, claim_seq)
+    ckpt_path = checkpoint_path(workdir, claim_seq)
+
+    def chunks(error_counts=None):
+        return read_fastq_chunks(
+            spec.input,
+            block_reads,
+            on_error=spec.on_error,
+            error_counts=error_counts,
+        )
+
+    def fit():
+        return _fit_stream_corrector(spec, workdir, tick, chunks)
+
+    hit: bool | None = None
+    if pool is not None:
+        entry, hit = pool.get_or_build(pool.key_for(spec), fit)
+        corrector = entry.corrector
+        if hit:
+            # The scan was skipped; replay its one load-bearing gauge
+            # from the entry's build-time metadata.
+            telemetry.gauge("reads_input", entry.meta["n_reads"])
+    else:
+        corrector, _meta = fit()
+    _pool_marker(hit)
     hit_fault_point("service.fitted")
     _tick(tick)
 
@@ -462,6 +533,7 @@ def _run_stream_job(
                 remaining_blocks(error_counts),
                 workers=spec.workers,
                 chunk_size=spec.chunk_size,
+                pool_hit=hit,
             ):
                 n_changed += int((report.reads.codes != block.codes).sum())
                 n_out += block.n_reads
@@ -494,5 +566,6 @@ def _run_stream_job(
         "reads": int(n_out),
         "bases_changed": int(n_changed),
         "resumed_reads": int(resumed),
+        "pool_hit": int(bool(hit)),
         **{k: int(v) for k, v in error_counts.items()},
     }

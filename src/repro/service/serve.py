@@ -19,7 +19,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from .worker import ServeWorker
+from ..tools.common import memory_size
+from .pool import SpectrumPool
+from .tenants import parse_tenant_weights
+from .worker import ServeWorker, SpoolError, open_spool_store
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,17 +55,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit once no pending or running jobs remain "
              "(instead of polling forever)",
     )
+    add_fairness_flags(p)
+    add_pool_flags(p)
     return p
+
+
+def add_fairness_flags(p: argparse.ArgumentParser) -> None:
+    """Tenant-fairness flags shared by ``serve`` and ``serve-http``."""
+    g = p.add_argument_group("tenant fairness")
+    g.add_argument(
+        "--tenant-weight", action="append", default=[],
+        metavar="NAME=WEIGHT",
+        help="claim weight for a tenant (repeatable; default 1.0 — "
+             "weight 2 tenants are claimed twice as often)",
+    )
+
+
+def add_pool_flags(p: argparse.ArgumentParser) -> None:
+    """Warm-spectrum-pool flags shared by ``serve`` and ``serve-http``."""
+    g = p.add_argument_group("warm spectrum pool")
+    g.add_argument(
+        "--pool-bytes", type=memory_size, default=1 << 30, metavar="SIZE",
+        help="byte budget for cached fitted spectra (default 1G)",
+    )
+    g.add_argument(
+        "--pool-entries", type=int, default=8,
+        help="max cached fitted correctors (default 8)",
+    )
+    g.add_argument(
+        "--no-pool", action="store_true",
+        help="disable warm-spectrum caching (every job fits fresh)",
+    )
+
+
+def pool_from_args(args: argparse.Namespace) -> SpectrumPool:
+    if args.no_pool:
+        return SpectrumPool(max_bytes=0, max_entries=0)
+    return SpectrumPool(
+        max_bytes=args.pool_bytes, max_entries=args.pool_entries
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
+    try:
+        weights = parse_tenant_weights(args.tenant_weight)
+        store = open_spool_store(args.spool, tenant_weights=weights)
+    except (SpoolError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     worker = ServeWorker(
         args.spool,
+        store=store,
         worker_id=args.worker_id,
         lease_seconds=args.lease_seconds,
         poll_seconds=args.poll_seconds,
+        pool=pool_from_args(args),
     )
     try:
         return worker.run(max_jobs=args.max_jobs, idle_exit=args.idle_exit)

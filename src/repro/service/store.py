@@ -52,17 +52,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
+from .. import telemetry
 from ..mapreduce.types import RetryPolicy
-from .spec import JobSpec
+from .spec import DEFAULT_TENANT, JOB_STATES, JobSpec, validate_tenant
+from .tenants import tenant_weight
 
-#: Job states (the full set the CLI and docs enumerate).
-PENDING = "pending"
-RUNNING = "running"
-SUCCEEDED = "succeeded"
-FAILED = "failed"
-CANCELLED = "cancelled"
-
-STATES = (PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+#: Job states (the full set the CLI and docs enumerate), derived from
+#: the ``repro-job/1`` wire vocabulary so store and schema can never
+#: drift apart.
+STATES = JOB_STATES
+PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED = STATES
 
 #: States with no further transitions (except an explicit ``retry``).
 TERMINAL_STATES = (SUCCEEDED, FAILED, CANCELLED)
@@ -72,6 +71,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     id            TEXT PRIMARY KEY,
     spec          TEXT NOT NULL,
     state         TEXT NOT NULL,
+    tenant        TEXT NOT NULL DEFAULT 'default',
     attempts      INTEGER NOT NULL DEFAULT 0,
     claim_seq     INTEGER NOT NULL DEFAULT 0,
     max_attempts  INTEGER NOT NULL DEFAULT 3,
@@ -86,6 +86,41 @@ CREATE TABLE IF NOT EXISTS jobs (
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, not_before);
 """
+
+#: Applied after :func:`_migrate` guarantees the ``tenant`` column
+#: exists — these statements reference it, so they cannot ride in
+#: ``_SCHEMA`` (which must still open pre-tenant stores).
+_SCHEMA_TENANTS = """
+CREATE INDEX IF NOT EXISTS jobs_by_tenant ON jobs (tenant, state);
+CREATE TABLE IF NOT EXISTS tenant_sched (
+    tenant TEXT PRIMARY KEY,
+    vpass  REAL NOT NULL DEFAULT 0
+);
+"""
+
+#: Reserved ``tenant_sched`` row holding the scheduler's virtual time
+#: (the winning pass of the most recent claim).  ``#`` is outside the
+#: tenant-name alphabet, so no real tenant can shadow it.
+_VTIME_KEY = "#vtime"
+
+
+def _migrate(conn: sqlite3.Connection) -> None:
+    """Bring a pre-tenant store up to the current schema in place.
+
+    Additive-only (``ALTER TABLE ... ADD COLUMN`` with a default), so
+    an old worker binary can still read a migrated store and every
+    pre-existing job lands in the ``default`` tenant — single-tenant
+    deployments observe byte-identical behavior.
+    """
+    cols = {
+        row["name"]
+        for row in conn.execute("PRAGMA table_info(jobs)").fetchall()
+    }
+    if "tenant" not in cols:
+        conn.execute(
+            "ALTER TABLE jobs ADD COLUMN tenant TEXT NOT NULL"
+            " DEFAULT 'default'"
+        )
 
 
 class LeaseLost(RuntimeError):
@@ -116,11 +151,15 @@ class JobRecord:
     finished_at: float | None
     error: str | None
     result: dict | None
+    #: Queue the job is scheduled under (see :mod:`.tenants`).  Last
+    #: and defaulted so pre-tenant positional construction still works.
+    tenant: str = DEFAULT_TENANT
 
     def as_dict(self) -> dict:
         d = {
             "id": self.id,
             "state": self.state,
+            "tenant": self.tenant,
             "attempts": self.attempts,
             "claim_seq": self.claim_seq,
             "max_attempts": self.max_attempts,
@@ -142,6 +181,7 @@ def _record_from_row(row: sqlite3.Row) -> JobRecord:
         id=row["id"],
         spec=JobSpec.from_json(row["spec"]),
         state=row["state"],
+        tenant=row["tenant"],
         attempts=row["attempts"],
         claim_seq=row["claim_seq"],
         max_attempts=row["max_attempts"],
@@ -173,6 +213,7 @@ class JobStore:
         clock: Callable[[], float] = time.time,
         backoff: RetryPolicy | None = None,
         busy_timeout: float = 30.0,
+        tenant_weights: dict[str, float] | None = None,
     ) -> None:
         self.path = Path(path)
         if str(self.path.parent) not in ("", "."):
@@ -181,13 +222,23 @@ class JobStore:
         self._backoff = backoff if backoff is not None else RetryPolicy(
             backoff_base=0.5, backoff_factor=2.0, backoff_jitter=0.25
         )
+        self._weights = dict(tenant_weights or {})
+        # check_same_thread=False: a JobStore may be *created* on one
+        # thread and *used* on another (the HTTP server's store pool,
+        # embedded worker threads).  Callers still must not share one
+        # instance between threads concurrently — cross-process safety
+        # comes from WAL + IMMEDIATE transactions, intra-process
+        # exclusivity from the owning worker/pool discipline.
         self._conn = sqlite3.connect(
-            str(self.path), timeout=busy_timeout, isolation_level=None
+            str(self.path), timeout=busy_timeout, isolation_level=None,
+            check_same_thread=False,
         )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=FULL")
         self._conn.executescript(_SCHEMA)
+        _migrate(self._conn)
+        self._conn.executescript(_SCHEMA_TENANTS)
 
     # -- lifecycle ----------------------------------------------------
     def close(self) -> None:
@@ -217,14 +268,19 @@ class JobStore:
         spec: JobSpec,
         max_attempts: int = 3,
         job_id: str | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> str:
         """Insert a new ``pending`` job; returns its id.
 
         Auto-generated ids step past any caller-supplied id of the
         same ``job-%06d`` shape instead of colliding; an explicit
         ``job_id`` that already exists raises ``ValueError``.
+        ``tenant`` files the job under a fair-claiming queue (see
+        :meth:`claim`); the default tenant preserves single-queue
+        FIFO behavior exactly.
         """
         spec.validate()
+        validate_tenant(tenant)
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         now = self._clock()
@@ -244,15 +300,19 @@ class JobStore:
                     n += 1
             try:
                 conn.execute(
-                    "INSERT INTO jobs (id, spec, state, attempts,"
+                    "INSERT INTO jobs (id, spec, state, tenant, attempts,"
                     " max_attempts, not_before, submitted_at)"
-                    " VALUES (?, ?, ?, 0, ?, 0, ?)",
-                    (job_id, spec.to_json(), PENDING, max_attempts, now),
+                    " VALUES (?, ?, ?, ?, 0, ?, 0, ?)",
+                    (
+                        job_id, spec.to_json(), PENDING, tenant,
+                        max_attempts, now,
+                    ),
                 )
             except sqlite3.IntegrityError:
                 raise ValueError(
                     f"job id {job_id!r} already exists"
                 ) from None
+        telemetry.count("tenants.submitted")
         return job_id
 
     # -- claiming and leases ------------------------------------------
@@ -304,27 +364,84 @@ class JobStore:
                 )
         return len(rows)
 
+    def _pick_tenant(
+        self, conn: sqlite3.Connection, now: float
+    ) -> str | None:
+        """Stride-schedule the next tenant to claim from, or ``None``.
+
+        Every tenant owns a persistent *virtual pass* (``tenant_sched``
+        table, shared by all worker processes); the runnable tenant
+        with the smallest pass wins (name as deterministic tie-break)
+        and its pass advances by ``1 / weight``.  A *virtual time* row
+        (the winning pass of the most recent claim) is persisted
+        alongside, and every runnable tenant's pass is clamped up to
+        it — so a tenant first seen mid-stream, or returning after an
+        idle stretch, is served promptly but is never owed the whole
+        history it sat out.  Weighted round-robin falls out: claim
+        frequency is proportional to weight while tenants compete, and
+        FIFO order within a tenant is untouched.
+        """
+        tenants = [
+            row["tenant"]
+            for row in conn.execute(
+                "SELECT DISTINCT tenant FROM jobs WHERE state = ?"
+                " AND not_before <= ?",
+                (PENDING, now),
+            ).fetchall()
+        ]
+        if not tenants:
+            return None
+        vpass = {
+            row["tenant"]: row["vpass"]
+            for row in conn.execute(
+                "SELECT tenant, vpass FROM tenant_sched"
+            ).fetchall()
+        }
+        # "#" cannot appear in a valid tenant name, so the vtime row
+        # can never collide with a real tenant's schedule entry.
+        vtime = vpass.pop(_VTIME_KEY, 0.0)
+        effective = {
+            t: max(vpass.get(t, vtime), vtime) for t in tenants
+        }
+        chosen = min(tenants, key=lambda t: (effective[t], t))
+        advance = 1.0 / tenant_weight(self._weights, chosen)
+        conn.executemany(
+            "INSERT INTO tenant_sched (tenant, vpass) VALUES (?, ?)"
+            " ON CONFLICT(tenant) DO UPDATE SET vpass = excluded.vpass",
+            [
+                (chosen, effective[chosen] + advance),
+                (_VTIME_KEY, effective[chosen]),
+            ],
+        )
+        return chosen
+
     def claim(
         self, worker_id: str, lease_seconds: float = 60.0
     ) -> JobRecord | None:
-        """Atomically claim the oldest runnable job, or ``None``.
+        """Atomically claim the next runnable job fairly, or ``None``.
 
         Exactly one concurrent claimer can win any given job: the
         SELECT and UPDATE share one IMMEDIATE transaction, which
-        SQLite serializes across connections and processes.
+        SQLite serializes across connections and processes.  Tenant
+        choice is weighted round-robin (:meth:`_pick_tenant`); within
+        the chosen tenant, claiming is strictly FIFO.
         """
         now = self._clock()
         with self._txn() as conn:
             self._reap_expired(conn, now)
+            tenant = self._pick_tenant(conn, now)
+            if tenant is None:
+                return None
             # FIFO by submission time (rowid tie-break), never by the
             # text id: zero-padded ids stop sorting numerically past
             # six digits and custom ids would jump the queue.
             row = conn.execute(
                 "SELECT id, attempts FROM jobs WHERE state = ?"
-                " AND not_before <= ? ORDER BY submitted_at, rowid LIMIT 1",
-                (PENDING, now),
+                " AND not_before <= ? AND tenant = ?"
+                " ORDER BY submitted_at, rowid LIMIT 1",
+                (PENDING, now, tenant),
             ).fetchone()
-            if row is None:
+            if row is None:  # pragma: no cover - tenant scan is in-txn
                 return None
             conn.execute(
                 "UPDATE jobs SET state = ?, attempts = ?,"
@@ -343,6 +460,7 @@ class JobStore:
             got = conn.execute(
                 "SELECT * FROM jobs WHERE id = ?", (row["id"],)
             ).fetchone()
+        telemetry.count("tenants.claimed")
         return _record_from_row(got)
 
     def renew(
@@ -478,28 +596,41 @@ class JobStore:
         ).fetchone()
         return _record_from_row(row) if row is not None else None
 
-    def list_jobs(self, state: str | None = None) -> list[JobRecord]:
+    def list_jobs(
+        self, state: str | None = None, tenant: str | None = None
+    ) -> list[JobRecord]:
         if state is not None and state not in STATES:
             raise ValueError(
                 f"unknown state {state!r}; expected one of {STATES}"
             )
-        if state is None:
-            rows = self._conn.execute(
-                "SELECT * FROM jobs ORDER BY submitted_at, rowid"
-            ).fetchall()
-        else:
-            rows = self._conn.execute(
-                "SELECT * FROM jobs WHERE state = ?"
-                " ORDER BY submitted_at, rowid",
-                (state,),
-            ).fetchall()
+        where: list[str] = []
+        params: list[object] = []
+        if state is not None:
+            where.append("state = ?")
+            params.append(state)
+        if tenant is not None:
+            where.append("tenant = ?")
+            params.append(tenant)
+        sql = "SELECT * FROM jobs"
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY submitted_at, rowid"
+        rows = self._conn.execute(sql, params).fetchall()
         return [_record_from_row(r) for r in rows]
 
-    def counts(self) -> dict[str, int]:
+    def counts(self, tenant: str | None = None) -> dict[str, int]:
         """Jobs per state (zero-filled for all known states)."""
         out = {state: 0 for state in STATES}
-        for row in self._conn.execute(
-            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
-        ):
+        if tenant is None:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs WHERE tenant = ?"
+                " GROUP BY state",
+                (tenant,),
+            )
+        for row in rows:
             out[row["state"]] = row["n"]
         return out

@@ -1,0 +1,155 @@
+"""Per-tenant fairness primitives: rate limits and claim weights.
+
+Two independent mechanisms keep one tenant from starving the queue:
+
+- **Admission** (:class:`TenantRateLimiter`): a classic token bucket
+  per tenant at the submission edge.  A tenant may burst up to
+  ``burst`` jobs, then is throttled to ``rate`` jobs/second; the HTTP
+  layer turns a rejected acquire into ``429`` with a machine-readable
+  ``repro-job/1`` error envelope and a ``tenants.throttled`` counter.
+- **Scheduling** (stride weights, consumed by
+  :meth:`repro.service.store.JobStore.claim`): each tenant owns a
+  *virtual pass* counter persisted in the store's ``tenant_sched``
+  table; every claim advances the claimed tenant's pass by
+  ``1 / weight``, and claims always go to the runnable tenant with the
+  smallest pass.  The result is deterministic weighted round-robin —
+  a tenant with weight 2 is claimed twice as often as weight 1 when
+  both have work, FIFO order is preserved *within* each tenant, and a
+  40-deep backlog from one tenant delays another tenant's first job by
+  at most one claim.  State lives in SQLite so any number of worker
+  processes share one fair schedule.
+
+Clocks are injectable everywhere (``time.monotonic`` by default) so
+tests can step buckets deterministically — the project's REP103 rule
+bans wall-clock reads outside telemetry for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .spec import DEFAULT_TENANT, validate_tenant
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "validate_tenant",
+    "TokenBucket",
+    "TenantRateLimiter",
+    "parse_tenant_weights",
+    "tenant_weight",
+]
+
+
+class TokenBucket:
+    """Deterministic token bucket (``rate`` tokens/s, ``burst`` cap).
+
+    ``try_acquire`` never blocks: it refills lazily from the elapsed
+    clock time, then either spends a token or reports failure.  A
+    ``rate`` of 0 disables refill (only the initial burst is ever
+    admitted); callers wanting "no limit" simply do not construct one.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst <= 0:
+            raise ValueError(
+                f"need rate >= 0 and burst > 0, got {rate}/{burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if available; never blocks."""
+        self._refill(self._clock())
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (after a lazy refill) — for tests/metrics."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class TenantRateLimiter:
+    """One token bucket per tenant, created on first sight.
+
+    Thread-safe: the HTTP server calls :meth:`allow` from handler
+    threads.  Unknown tenants inherit the default ``rate``/``burst``;
+    per-tenant overrides come from ``overrides`` as
+    ``{tenant: (rate, burst)}``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        overrides: dict[str, tuple[float, float]] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._overrides = dict(overrides or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, tenant: str) -> bool:
+        validate_tenant(tenant)
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self._overrides.get(
+                    tenant, (self.rate, self.burst)
+                )
+                bucket = TokenBucket(rate, burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket.try_acquire()
+
+
+def parse_tenant_weights(pairs: list[str]) -> dict[str, float]:
+    """Parse repeated ``NAME=WEIGHT`` CLI flags into a weight map."""
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"tenant weight must be NAME=WEIGHT, got {pair!r}"
+            )
+        validate_tenant(name)
+        try:
+            weight = float(value)
+        except ValueError:
+            raise ValueError(
+                f"tenant weight for {name!r} must be a number, "
+                f"got {value!r}"
+            ) from None
+        if not weight > 0:
+            raise ValueError(
+                f"tenant weight for {name!r} must be > 0, got {weight}"
+            )
+        weights[name] = weight
+    return weights
+
+
+def tenant_weight(weights: dict[str, float] | None, tenant: str) -> float:
+    """A tenant's claim weight (1.0 unless configured otherwise)."""
+    if not weights:
+        return 1.0
+    return float(weights.get(tenant, 1.0))

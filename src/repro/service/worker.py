@@ -38,13 +38,45 @@ import time
 from pathlib import Path
 from typing import Callable
 
+import sqlite3
+
 from .. import telemetry
+from ..io.atomic import ensure_dir
 from ..mapreduce.faults import hit_fault_point
+from .pool import SpectrumPool
 from .runner import execute_job, job_workdir
 from .store import JobRecord, JobStore, LeaseLost
 
 #: Spool-relative name of the shared job database.
 DB_NAME = "jobs.sqlite3"
+
+
+class SpoolError(RuntimeError):
+    """A spool directory cannot be created or its store opened.
+
+    Raised with a human-readable reason (unwritable parent, read-only
+    filesystem, a file where the directory should be, corrupt
+    database); the CLIs turn it into exit code 2 instead of a
+    traceback.
+    """
+
+
+def open_spool_store(spool: str | Path, **store_kwargs) -> JobStore:
+    """Open (creating durably if needed) the job store under ``spool``.
+
+    The one sanctioned way for CLIs and the HTTP server to reach a
+    spool: parents are created atomically-durably via
+    :func:`repro.io.atomic.ensure_dir`, and every "the operator gave
+    us an unusable path" failure mode surfaces as :class:`SpoolError`.
+    """
+    spool = Path(spool)
+    try:
+        ensure_dir(spool)
+        return JobStore(spool / DB_NAME, **store_kwargs)
+    except (OSError, sqlite3.Error) as e:
+        raise SpoolError(
+            f"cannot open spool {spool}: {type(e).__name__}: {e}"
+        ) from e
 
 
 def default_worker_id() -> str:
@@ -69,11 +101,17 @@ class ServeWorker:
         poll_seconds: float = 0.2,
         monotonic: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        pool: SpectrumPool | None = None,
     ) -> None:
         self.spool = Path(spool)
-        self.store = store if store is not None else JobStore(
-            self.spool / DB_NAME
+        self.store = store if store is not None else open_spool_store(
+            self.spool
         )
+        #: Warm shared-spectrum cache, on by default (a zero-budget
+        #: ``SpectrumPool(max_bytes=0, max_entries=0)`` disables
+        #: retention).  Shared across jobs this worker runs — and, for
+        #: embedded-worker deployments, across worker threads.
+        self.pool = pool if pool is not None else SpectrumPool()
         self.worker_id = worker_id or default_worker_id()
         self.lease_seconds = lease_seconds
         # Renew well inside the lease so one slow chunk cannot silently
@@ -113,6 +151,16 @@ class ServeWorker:
     def _log(self, message: str) -> None:
         print(f"[serve {self.worker_id}] {message}", flush=True)
 
+    def stop(self) -> None:
+        """Request a graceful stop (thread-safe, signal-equivalent).
+
+        The embedded-worker path: HTTP server threads cannot receive
+        the process signals, so shutdown calls this instead.  The
+        worker finishes the chunk in flight, releases its lease, and
+        exits its loop.
+        """
+        self._stop = True
+
     # -- one job ------------------------------------------------------
     def _make_tick(self, job: JobRecord) -> Callable[[], None]:
         last_renew = [self._monotonic()]
@@ -141,7 +189,9 @@ class ServeWorker:
         )
         workdir = job_workdir(self.spool, job.id)
         try:
-            result = execute_job(job, workdir, tick=self._make_tick(job))
+            result = execute_job(
+                job, workdir, tick=self._make_tick(job), pool=self.pool
+            )
         except LeaseLost as e:
             # Another worker owns (or will own) the job now; our store
             # row is not ours to touch.

@@ -1,0 +1,217 @@
+"""SpectrumPool: keying, LRU budgets, and one-build-per-key latching.
+
+The concurrency property that matters operationally: two workers
+racing on the same fingerprint must produce exactly one spectrum
+build — the second waits on the first's latch and takes the hit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service.pool import PoolEntry, SpectrumPool, estimate_nbytes
+from repro.service.spec import JobSpec
+
+
+def _fastq(path, records=(("r1", "ACGTACGT", "IIIIIIII"),)) -> None:
+    path.write_text("".join(
+        f"@{name}\n{seq}\n+\n{qual}\n" for name, seq, qual in records
+    ))
+
+
+class TestEstimateNbytes:
+    def test_counts_numpy_arrays(self):
+        arr = np.zeros(1000, dtype=np.uint32)
+        assert estimate_nbytes(arr) == 4000
+
+    def test_walks_containers_and_objects(self):
+        class Holder:
+            def __init__(self):
+                self.codes = np.zeros(10, dtype=np.uint64)  # 80
+                self.tables = {"t": np.zeros(5, dtype=np.uint8)}  # 5
+                self.misc = [np.zeros(2, dtype=np.float64)]  # 16
+
+        assert estimate_nbytes(Holder()) == 101
+
+    def test_shared_arrays_counted_once(self):
+        arr = np.zeros(100, dtype=np.uint8)
+        assert estimate_nbytes({"a": arr, "b": arr}) == 100
+
+    def test_plain_python_is_free(self):
+        assert estimate_nbytes({"a": [1, 2, 3], "b": "xyz"}) == 0
+
+
+class TestKeying:
+    def test_key_ignores_output_and_parallelism(self, tmp_path):
+        fastq = tmp_path / "in.fastq"
+        _fastq(fastq)
+        a = JobSpec(input=str(fastq), output="a.fastq", k=15, workers=1)
+        b = JobSpec(
+            input=str(fastq), output="b.fastq", k=15, workers=8,
+            chunk_size=64, report="r.json",
+        )
+        assert SpectrumPool.key_for(a) == SpectrumPool.key_for(b)
+
+    def test_key_tracks_fit_parameters(self, tmp_path):
+        fastq = tmp_path / "in.fastq"
+        _fastq(fastq)
+        base = JobSpec(input=str(fastq), output="o.fastq", k=15)
+        for other in (
+            JobSpec(input=str(fastq), output="o.fastq", k=17),
+            JobSpec(
+                input=str(fastq), output="o.fastq", k=15,
+                genome_length=5000,
+            ),
+            JobSpec(
+                input=str(fastq), output="o.fastq", k=15, stream=True
+            ),
+            JobSpec(
+                input=str(fastq), output="o.fastq", k=15,
+                on_error="skip",
+            ),
+        ):
+            assert SpectrumPool.key_for(base) != SpectrumPool.key_for(other)
+
+    def test_key_tracks_input_content(self, tmp_path):
+        fastq = tmp_path / "in.fastq"
+        _fastq(fastq)
+        spec = JobSpec(input=str(fastq), output="o.fastq", k=15)
+        key_before = SpectrumPool.key_for(spec)
+        _fastq(fastq, (("r1", "TTTTTTTT", "IIIIIIII"),))
+        assert SpectrumPool.key_for(spec) != key_before
+
+
+class TestLruBudgets:
+    def _entryish(self, tag: str, nbytes: int):
+        def build():
+            return {"tag": tag, "blob": np.zeros(nbytes, dtype=np.uint8)}, {}
+
+        return build
+
+    def test_hit_after_miss(self):
+        pool = SpectrumPool()
+        entry, hit = pool.get_or_build(("k",), self._entryish("a", 10))
+        assert not hit
+        again, hit = pool.get_or_build(("k",), self._entryish("b", 10))
+        assert hit and again is entry
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_entry_cap_evicts_lru(self):
+        pool = SpectrumPool(max_entries=2)
+        pool.get_or_build(("a",), self._entryish("a", 1))
+        pool.get_or_build(("b",), self._entryish("b", 1))
+        pool.get_or_build(("a",), self._entryish("a", 1))  # a now MRU
+        pool.get_or_build(("c",), self._entryish("c", 1))  # evicts b
+        assert pool.stats()["evictions"] == 1
+        _, hit = pool.get_or_build(("a",), self._entryish("a", 1))
+        assert hit
+        _, hit = pool.get_or_build(("b",), self._entryish("b", 1))
+        assert not hit  # b was evicted
+
+    def test_bytes_budget_evicts(self):
+        pool = SpectrumPool(max_bytes=150, max_entries=100)
+        pool.get_or_build(("a",), self._entryish("a", 100))
+        pool.get_or_build(("b",), self._entryish("b", 100))
+        stats = pool.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= 150
+
+    def test_oversized_entry_not_retained(self):
+        pool = SpectrumPool(max_bytes=50)
+        entry, hit = pool.get_or_build(("big",), self._entryish("x", 100))
+        assert not hit and entry.nbytes == 100
+        assert pool.stats()["entries"] == 0
+
+    def test_zero_budget_pool_disables_retention(self):
+        pool = SpectrumPool(max_bytes=0, max_entries=0)
+        _, hit = pool.get_or_build(("k",), self._entryish("a", 0))
+        assert not hit
+        _, hit = pool.get_or_build(("k",), self._entryish("a", 0))
+        assert not hit
+        assert pool.stats()["entries"] == 0
+
+    def test_clear(self):
+        pool = SpectrumPool()
+        pool.get_or_build(("k",), self._entryish("a", 10))
+        pool.clear()
+        assert pool.stats()["entries"] == 0
+        assert pool.stats()["bytes"] == 0
+
+
+class TestBuildLatch:
+    def test_concurrent_same_key_builds_once(self):
+        pool = SpectrumPool()
+        builds = []
+        build_started = threading.Event()
+        release_build = threading.Event()
+        results = []
+
+        def slow_builder():
+            builds.append(1)
+            build_started.set()
+            release_build.wait(timeout=10)
+            return {"b": np.zeros(8, dtype=np.uint8)}, {"n": 1}
+
+        def worker():
+            entry, hit = pool.get_or_build(("k",), slow_builder)
+            results.append((entry, hit))
+
+        t1 = threading.Thread(target=worker)
+        t1.start()
+        assert build_started.wait(timeout=10)
+        t2 = threading.Thread(target=worker)
+        t2.start()
+        release_build.set()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+
+        assert len(builds) == 1, "second caller must wait, not rebuild"
+        hits = sorted(hit for _, hit in results)
+        assert hits == [False, True]
+        assert results[0][0] is results[1][0]
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_failed_build_releases_latch_for_retry(self):
+        pool = SpectrumPool()
+
+        def failing():
+            raise RuntimeError("fit exploded")
+
+        with pytest.raises(RuntimeError):
+            pool.get_or_build(("k",), failing)
+
+        def working():
+            return {"b": np.zeros(4, dtype=np.uint8)}, {}
+
+        entry, hit = pool.get_or_build(("k",), working)
+        assert not hit and isinstance(entry, PoolEntry)
+
+    def test_distinct_keys_build_independently(self):
+        pool = SpectrumPool()
+        barrier = threading.Barrier(2, timeout=10)
+        done = []
+
+        def make_builder(tag):
+            def build():
+                barrier.wait()  # both builds must be in flight at once
+                return {tag: np.zeros(4, dtype=np.uint8)}, {}
+
+            return build
+
+        def worker(tag):
+            pool.get_or_build((tag,), make_builder(tag))
+            done.append(tag)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(done) == ["a", "b"]

@@ -1,0 +1,183 @@
+"""repro-job/1 wire schema: builders, validators, and the CLI.
+
+The contract under test: every envelope the service emits validates,
+every malformed document is rejected with a pointed problem string,
+and the ``job`` payload is exactly the ``JobRecord.as_dict()`` shape —
+so the store, the HTTP server, and the client cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import spec as wire
+from repro.service.spec import (
+    DEFAULT_TENANT,
+    JOB_SCHEMA_VERSION,
+    JOB_STATES,
+    JobSpec,
+    validate_tenant,
+)
+def _spec() -> JobSpec:
+    return JobSpec(input="in.fastq", output="out.fastq", k=15)
+
+
+def _job_dict(store, tmp_path):
+    job_id = store.submit(_spec())
+    return store.get(job_id).as_dict()
+
+
+@pytest.fixture
+def store(tmp_path):
+    from repro.service.store import JobStore
+
+    with JobStore(tmp_path / "jobs.sqlite3") as s:
+        yield s
+
+
+class TestBuilders:
+    def test_submit_document_validates(self):
+        doc = wire.submit_document(_spec(), tenant="acme", max_attempts=5)
+        assert doc["schema"] == JOB_SCHEMA_VERSION
+        assert wire.validate_envelope_dict(doc) == []
+
+    def test_submit_document_omits_unset_job_id(self):
+        assert "job_id" not in wire.submit_document(_spec())["submit"]
+        doc = wire.submit_document(_spec(), job_id="job-000009")
+        assert doc["submit"]["job_id"] == "job-000009"
+        assert wire.validate_envelope_dict(doc) == []
+
+    def test_job_envelope_round_trips_store_record(self, store, tmp_path):
+        job = _job_dict(store, tmp_path)
+        env = wire.job_envelope(job)
+        assert wire.validate_envelope_dict(env) == []
+        # JSON round trip (what HTTP does) stays valid and identical.
+        again = json.loads(json.dumps(env))
+        assert wire.validate_envelope_dict(again) == []
+        assert again == env
+
+    def test_jobs_envelope_with_counts(self, store, tmp_path):
+        job = _job_dict(store, tmp_path)
+        env = wire.jobs_envelope([job], store.counts())
+        assert wire.validate_envelope_dict(env) == []
+
+    def test_error_health_metrics_envelopes(self):
+        assert wire.validate_envelope_dict(
+            wire.error_envelope("not-found", "no such job")
+        ) == []
+        assert wire.validate_envelope_dict(
+            wire.health_envelope({s: 0 for s in JOB_STATES})
+        ) == []
+        assert wire.validate_envelope_dict(
+            wire.metrics_envelope(
+                {"counters": {"a": 1}, "gauges": {"b": 2.0}}
+            )
+        ) == []
+
+
+class TestValidatorRejections:
+    def test_not_an_object(self):
+        assert wire.validate_envelope_dict([1, 2]) != []
+
+    def test_wrong_schema(self):
+        doc = wire.submit_document(_spec())
+        doc["schema"] = "repro-job/999"
+        assert any("schema" in p for p in wire.validate_envelope_dict(doc))
+
+    def test_two_payload_keys(self, store, tmp_path):
+        doc = wire.submit_document(_spec())
+        doc["job"] = _job_dict(store, tmp_path)
+        assert wire.validate_envelope_dict(doc) != []
+
+    def test_unknown_job_key_rejected(self, store, tmp_path):
+        job = _job_dict(store, tmp_path)
+        job["surprise"] = 1
+        assert any(
+            "surprise" in p
+            for p in wire.validate_envelope_dict(wire.job_envelope(job))
+        )
+
+    def test_missing_job_key_rejected(self, store, tmp_path):
+        job = _job_dict(store, tmp_path)
+        del job["tenant"]
+        assert wire.validate_envelope_dict(wire.job_envelope(job)) != []
+
+    def test_bad_state_rejected(self, store, tmp_path):
+        job = _job_dict(store, tmp_path)
+        job["state"] = "limbo"
+        assert wire.validate_envelope_dict(wire.job_envelope(job)) != []
+
+    def test_bad_submit_spec_rejected(self):
+        doc = wire.submit_document(_spec())
+        doc["submit"]["spec"]["workers"] = "many"
+        assert wire.validate_envelope_dict(doc) != []
+
+    def test_unknown_submit_key_rejected(self):
+        doc = wire.submit_document(_spec())
+        doc["submit"]["priority"] = 9
+        assert any(
+            "priority" in p for p in wire.validate_envelope_dict(doc)
+        )
+
+    def test_bad_max_attempts_rejected(self):
+        doc = wire.submit_document(_spec())
+        doc["submit"]["max_attempts"] = 0
+        assert wire.validate_envelope_dict(doc) != []
+
+
+class TestTenantNames:
+    def test_default_is_valid(self):
+        assert validate_tenant(DEFAULT_TENANT) == DEFAULT_TENANT
+
+    @pytest.mark.parametrize("name", ["acme", "a", "A-1_b.c", "x" * 64])
+    def test_good_names(self, name):
+        assert validate_tenant(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["", "-leading", ".dot", "has space", "x" * 65, "a/b"]
+    )
+    def test_bad_names(self, name):
+        with pytest.raises(ValueError):
+            validate_tenant(name)
+
+
+class TestStatesPin:
+    def test_wire_states_are_store_states(self):
+        from repro.service.store import STATES
+
+        assert tuple(STATES) == tuple(JOB_STATES)
+
+
+class TestValidateJobCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(wire.submit_document(_spec())))
+        assert wire.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps({"schema": "repro-job/1"}))
+        assert wire.main([str(path)]) == 1
+        assert capsys.readouterr().err
+
+    def test_missing_file_is_invalid(self, tmp_path):
+        assert wire.main([str(tmp_path / "absent.json")]) == 1
+
+    def test_no_documents_exits_two(self, capsys):
+        assert wire.main([]) == 2
+        assert capsys.readouterr().err
+
+    def test_print_schema(self, capsys):
+        assert wire.main(["--print-schema"]) == 0
+        schema = json.loads(capsys.readouterr().out)
+        assert schema["properties"]["schema"]["const"] == JOB_SCHEMA_VERSION
+
+    def test_repro_entry_point(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(wire.submit_document(_spec())))
+        assert repro_main(["validate-job", str(path)]) == 0
