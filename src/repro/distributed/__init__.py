@@ -1,0 +1,42 @@
+"""Pluggable distributed execution for correction and MapReduce.
+
+The Backend protocol (:mod:`repro.distributed.backend`) abstracts the
+execution substrate under the reliable layer's one fault model:
+local threads, local forked processes, or socket-connected worker
+processes owning spectrum shards (:mod:`repro.distributed.shards`,
+:mod:`repro.distributed.socket_backend`).  See docs/distributed.md.
+"""
+
+from .backend import (
+    BACKEND_NAMES,
+    Backend,
+    LocalForkBackend,
+    LocalThreadsBackend,
+    create_backend,
+)
+from .framing import ConnectionClosed, recv_msg, send_msg
+from .shards import (
+    ShardClientPool,
+    ShardLookupError,
+    ShardPlan,
+    ShardRouter,
+    SpectrumShard,
+    split_spectrum,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "ConnectionClosed",
+    "LocalForkBackend",
+    "LocalThreadsBackend",
+    "ShardClientPool",
+    "ShardLookupError",
+    "ShardPlan",
+    "ShardRouter",
+    "SpectrumShard",
+    "create_backend",
+    "recv_msg",
+    "send_msg",
+    "split_spectrum",
+]

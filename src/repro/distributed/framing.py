@@ -1,0 +1,75 @@
+"""Length-prefixed pickle framing over stream sockets.
+
+The wire format shared by every distributed-layer connection (the
+coordinator's control channels and the shard lookup RPCs): each
+message is an 8-byte big-endian payload length followed by a pickle
+of one Python object — the same style as the service layer's JSON
+envelopes, but binary, because the payloads here are numpy arrays
+(read chunks, shard count columns) where JSON would cost an order of
+magnitude in encode/decode time.
+
+Trust model: pickles execute arbitrary code on load, so this framing
+is **only** for sockets between processes of one job on one trust
+domain (the coordinator spawns every peer itself and binds loopback
+by default).  It is not an external API — that is what the service
+layer's validated JSON envelopes are for.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "ConnectionClosed",
+    "MAX_MESSAGE_BYTES",
+    "send_msg",
+    "recv_msg",
+]
+
+#: Refuse to allocate for absurd length prefixes (a corrupt or
+#: misframed stream would otherwise ask for petabytes).
+MAX_MESSAGE_BYTES = 1 << 34
+
+_HEADER = struct.Struct(">Q")
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the stream (mid-message or between messages)."""
+
+
+def send_msg(sock: socket.socket, obj: object) -> int:
+    """Pickle ``obj`` and send it with a length prefix; returns bytes
+    sent (header included)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+    return _HEADER.size + len(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    parts: list[bytes] = []
+    remaining = n
+    while remaining:
+        block = sock.recv(min(remaining, 1 << 20))
+        if not block:
+            raise ConnectionClosed(
+                f"peer closed with {remaining}/{n} bytes outstanding"
+            )
+        parts.append(block)
+        remaining -= len(block)
+    return b"".join(parts)
+
+
+def recv_msg(sock: socket.socket) -> object:
+    """Receive one framed message; raises :class:`ConnectionClosed` on
+    EOF and ``ValueError`` on an implausible length prefix."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ValueError(
+            f"framed message of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte cap (corrupt stream?)"
+        )
+    return pickle.loads(_recv_exact(sock, int(length)))

@@ -348,6 +348,7 @@ def run_task_reliable(
     spill_dir: str | None = None,
     chunk_size: int = 4096,
     policy: RetryPolicy | None = None,
+    backend=None,
 ) -> list[KV]:
     """Execute one map-reduce job with retries, timeouts, and skip mode.
 
@@ -355,6 +356,12 @@ def run_task_reliable(
     :func:`repro.mapreduce.engine.run_task` (keys reduced in sorted
     order, output concatenated in stable partition order), plus the
     recovery behavior described in the module docstring.
+
+    ``backend`` (a registry name or :class:`repro.distributed.Backend`
+    instance) swaps the execution substrate under the identical
+    recovery loop; ``None`` keeps the legacy fork pool.  String-named
+    backends are created and shut down here; instances are
+    caller-owned.
     """
     inputs = list(inputs) if not isinstance(inputs, list) else inputs
     if counters is None:
@@ -365,7 +372,17 @@ def run_task_reliable(
         policy = RetryPolicy()
 
     chunks = [inputs[i : i + chunk_size] for i in range(0, len(inputs), chunk_size)]
-    pool = _PoolManager(n_workers) if n_workers > 1 else None
+    from ..parallel.engine import _resolve_backend
+
+    backend_obj, owned_backend = _resolve_backend(backend, n_workers)
+    if backend_obj is not None:
+        pool = (
+            backend_obj
+            if backend_obj.want_pool(n_workers, len(chunks))
+            else None
+        )
+    else:
+        pool = _PoolManager(n_workers) if n_workers > 1 else None
     try:
         with telemetry.span(
             "mapreduce.map", task=task.name, chunks=len(chunks)
@@ -396,8 +413,12 @@ def run_task_reliable(
                 _skip_reduce_partition, on_item_done=on_done,
             )
     finally:
-        if pool is not None:
+        if pool is not None and pool is not backend_obj:
             pool.shutdown()
+        if backend_obj is not None:
+            counters.merge(backend_obj.harvest())
+            if owned_backend:
+                backend_obj.shutdown()
     out: list[KV] = []
     for pairs in reduce_outs:
         out.extend(pairs)

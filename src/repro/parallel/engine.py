@@ -229,6 +229,23 @@ class ParallelRunReport:
         return out
 
 
+def _resolve_backend(backend, workers: int):
+    """Normalize the ``backend`` argument to ``(instance | None, owned)``.
+
+    A string names a registry backend created — and therefore shut
+    down — by the engine; an instance is caller-owned and survives the
+    run (so a stream or a service can keep remote workers warm across
+    blocks).  ``None`` keeps the legacy fork-pool path untouched.
+    """
+    if backend is None:
+        return None, False
+    if isinstance(backend, str):
+        from ..distributed.backend import create_backend
+
+        return create_backend(backend, workers=workers), True
+    return backend, False
+
+
 def _chunk_bounds(n_reads: int, chunk_size: int) -> list[tuple[int, int]]:
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -247,6 +264,7 @@ def correct_stream(
     counters: Counters | None = None,
     spectrum_backing: str = "inherit",
     pool_hit: bool | None = None,
+    backend=None,
 ):
     """Drive the chunk loop over a *stream* of ReadSet blocks.
 
@@ -260,20 +278,26 @@ def correct_stream(
     """
     if counters is None:
         counters = telemetry.active_counters() or Counters()
-    for block in blocks:
-        report = correct_in_parallel(
-            corrector,
-            block,
-            workers=workers,
-            chunk_size=chunk_size,
-            policy=policy,
-            counters=counters,
-            spectrum_backing=spectrum_backing,
-            pool_hit=pool_hit,
-        )
-        telemetry.count("stream_blocks")
-        telemetry.count("stream_reads", block.n_reads)
-        yield block, report
+    backend_obj, owned = _resolve_backend(backend, workers)
+    try:
+        for block in blocks:
+            report = correct_in_parallel(
+                corrector,
+                block,
+                workers=workers,
+                chunk_size=chunk_size,
+                policy=policy,
+                counters=counters,
+                spectrum_backing=spectrum_backing,
+                pool_hit=pool_hit,
+                backend=backend_obj,
+            )
+            telemetry.count("stream_blocks")
+            telemetry.count("stream_reads", block.n_reads)
+            yield block, report
+    finally:
+        if owned and backend_obj is not None:
+            backend_obj.shutdown()
 
 
 def correct_in_parallel(
@@ -285,9 +309,17 @@ def correct_in_parallel(
     counters: Counters | None = None,
     spectrum_backing: str = "inherit",
     pool_hit: bool | None = None,
+    backend=None,
 ) -> ParallelRunReport:
     """Correct ``reads`` in ``chunk_size`` batches across ``workers``
     processes; bitwise identical to the serial path.
+
+    ``backend`` selects the execution substrate: ``None`` keeps the
+    legacy fork pool; a registry name (``"threads"`` / ``"fork"`` /
+    ``"socket"``) or a :class:`repro.distributed.Backend` instance
+    routes the same chunk loop — same fault model, same bitwise
+    guarantee — through that substrate.  Instances are caller-owned
+    (not shut down here), so socket workers stay warm across calls.
 
     ``spectrum_backing="shared"`` re-backs ``corrector.spectrum``'s
     arrays with ``multiprocessing.shared_memory`` for the duration of
@@ -313,7 +345,11 @@ def correct_in_parallel(
         policy = RetryPolicy(max_retries=1)
     bounds = _chunk_bounds(reads.n_reads, chunk_size)
     can_fork = hasattr(os, "fork")
-    use_pool = workers > 1 and can_fork and len(bounds) > 1
+    backend_obj, owned_backend = _resolve_backend(backend, workers)
+    if backend_obj is not None:
+        use_pool = backend_obj.want_pool(workers, len(bounds))
+    else:
+        use_pool = workers > 1 and can_fork and len(bounds) > 1
     task = _BatchTask(name=f"correct[{type(corrector).__name__}]")
 
     shared_bytes = 0
@@ -338,6 +374,10 @@ def correct_in_parallel(
         workers=workers if use_pool else 1,
         chunks=len(bounds),
         mode="parallel" if use_pool else "serial",
+        backend=(
+            backend_obj.name if (backend_obj is not None and use_pool)
+            else ("fork" if use_pool else "serial")
+        ),
         corrector=type(corrector).__name__,
         spectrum_provenance=(
             "fitted" if pool_hit is None
@@ -346,15 +386,26 @@ def correct_in_parallel(
     ):
         try:
             if use_pool:
-                pool = _PoolManager(workers)
+                if backend_obj is not None:
+                    # State install happens *after* _WORKER_STATE is
+                    # set: fork-based backends snapshot it at pool
+                    # creation, the socket backend ships shards.
+                    backend_obj.install_state(corrector, reads)
+                    pool = backend_obj
+                else:
+                    pool = _PoolManager(workers)
             with _graceful_signals(counters) as stop_flag:
                 results = _execute_phase(
                     _chunk_attempt, task, bounds, policy, counters, pool,
                     "correct", _skip_chunk, should_stop=stop_flag,
                 )
         finally:
-            if pool is not None:
+            if pool is not None and pool is not backend_obj:
                 pool.shutdown()
+            if backend_obj is not None:
+                counters.merge(backend_obj.harvest())
+                if owned_backend:
+                    backend_obj.shutdown()
             _WORKER_STATE = prev_state
             if shared_handle is not None:
                 shared_handle.close()

@@ -33,7 +33,9 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from contextlib import contextmanager
+from urllib.parse import quote, urlencode
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Callable, Iterator
@@ -69,6 +71,15 @@ class ServiceError(Exception):
 
 class TransportError(Exception):
     """The service could not be reached (after retries)."""
+
+
+def _quoted(job_id: str) -> str:
+    """Percent-encode a job id for use as one URL path segment.
+
+    ``safe=""`` also encodes ``/``, so an id like ``"jobs/evil"``
+    stays a single segment instead of rewriting the route.
+    """
+    return quote(job_id, safe="")
 
 
 @dataclass(frozen=True)
@@ -214,32 +225,39 @@ class HTTPTransport:
                     f"non-JSON response from {self.base_url}: {e}",
                 ) from None
 
+    # A retried POST /v1/jobs may duplicate a job whose first response
+    # was lost; JobsClient defuses this by pre-generating the id for
+    # transports that advertise the hazard.
+    retries_submits = True
+
     # -- verbs (each returns a validated-upstream envelope dict) ------
     def submit(self, document: dict) -> dict:
         return self._json("POST", "/v1/jobs", document)
 
     def get(self, job_id: str) -> dict:
-        return self._json("GET", f"/v1/jobs/{job_id}")
+        return self._json("GET", f"/v1/jobs/{_quoted(job_id)}")
 
     def list(
         self, state: str | None = None, tenant: str | None = None
     ) -> dict:
-        query = "&".join(
-            f"{key}={value}"
-            for key, value in (("state", state), ("tenant", tenant))
-            if value is not None
+        query = urlencode(
+            [
+                (key, value)
+                for key, value in (("state", state), ("tenant", tenant))
+                if value is not None
+            ]
         )
         return self._json("GET", "/v1/jobs" + (f"?{query}" if query else ""))
 
     def cancel(self, job_id: str) -> dict:
-        return self._json("DELETE", f"/v1/jobs/{job_id}")
+        return self._json("DELETE", f"/v1/jobs/{_quoted(job_id)}")
 
     def retry(self, job_id: str) -> dict:
-        return self._json("POST", f"/v1/jobs/{job_id}/retry")
+        return self._json("POST", f"/v1/jobs/{_quoted(job_id)}/retry")
 
     def result(self, job_id: str, dest: str | Path) -> Path:
         dest = Path(dest)
-        with self._open("GET", f"/v1/jobs/{job_id}/result") as resp:
+        with self._open("GET", f"/v1/jobs/{_quoted(job_id)}/result") as resp:
             with atomic_writer(dest, "wb") as out:
                 while True:
                     block = resp.read(1 << 20)
@@ -354,10 +372,30 @@ class JobsClient:
         max_attempts: int = 3,
         job_id: str | None = None,
     ) -> Job:
+        """Submit a job; idempotent even across transport retries.
+
+        A retrying transport (HTTP) may re-POST a submit whose first
+        response was lost *after* the server processed it.  To keep
+        that from duplicating the job, the id is pre-generated
+        client-side before the first attempt, so the replay collides —
+        and a 409 conflict on an id we generated ourselves means the
+        original submit landed, so the job is fetched and returned
+        instead of surfacing the error.
+        """
+        generated = None
+        if job_id is None and getattr(
+            self.transport, "retries_submits", False
+        ):
+            job_id = generated = f"job-{uuid.uuid4().hex[:20]}"
         document = wire.submit_document(
             spec, tenant=tenant, max_attempts=max_attempts, job_id=job_id
         )
-        return self._job(self.transport.submit(document))
+        try:
+            return self._job(self.transport.submit(document))
+        except ServiceError as e:
+            if generated is not None and e.status == 409:
+                return self.get(generated)
+            raise
 
     def get(self, job_id: str) -> Job:
         return self._job(self.transport.get(job_id))
@@ -386,19 +424,22 @@ class JobsClient:
         timeout: float | None = None,
         poll: float = 0.5,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ) -> Job:
         """Poll until the job reaches a terminal state (or timeout).
 
         Raises :class:`TimeoutError` with the last observed state if
         ``timeout`` elapses first; transport retries already smooth
-        over server restarts underneath this loop.
+        over server restarts underneath this loop.  ``clock`` pairs
+        with ``sleep`` so timeout behavior is deterministic under test
+        (both default to real time).
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else clock() + timeout
         while True:
             job = self.get(job_id)
             if job.done:
                 return job
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and clock() >= deadline:
                 raise TimeoutError(
                     f"{job_id} still {job.state} after {timeout}s"
                 )

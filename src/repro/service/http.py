@@ -45,7 +45,7 @@ from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Iterator
-from urllib.parse import parse_qs, urlparse
+from urllib.parse import parse_qs, unquote, urlparse
 
 from ..io.atomic import atomic_write_text
 from ..telemetry.metrics import MetricsRegistry
@@ -255,6 +255,11 @@ class ServiceAPI:
         if self.pool is not None:
             for name, value in self.pool.stats().items():
                 gauges[f"pool_{name}"] = float(value)
+        if self.rate_limiter is not None:
+            gauges["tenants.buckets"] = float(self.rate_limiter.n_buckets)
+            gauges["tenants.bucket_evictions"] = float(
+                self.rate_limiter.evictions
+            )
         return 200, wire.metrics_envelope(
             {"counters": snap["counters"], "gauges": gauges}
         )
@@ -324,7 +329,9 @@ class JobsHTTPHandler(BaseHTTPRequestHandler):
 
     def _segments(self) -> tuple[list[str], dict[str, str]]:
         parsed = urlparse(self.path)
-        segments = [s for s in parsed.path.split("/") if s]
+        # Split *before* unquoting: a %2F inside a job id must stay
+        # part of its segment, not become a path separator.
+        segments = [unquote(s) for s in parsed.path.split("/") if s]
         query = {
             key: values[-1]
             for key, values in parse_qs(parsed.query).items()

@@ -88,12 +88,21 @@ class TokenBucket:
 
 
 class TenantRateLimiter:
-    """One token bucket per tenant, created on first sight.
+    """One token bucket per tenant, created on first sight — bounded.
 
     Thread-safe: the HTTP server calls :meth:`allow` from handler
     threads.  Unknown tenants inherit the default ``rate``/``burst``;
     per-tenant overrides come from ``overrides`` as
     ``{tenant: (rate, burst)}``.
+
+    The bucket table is capped at ``max_buckets`` (every distinct
+    tenant name allocates an entry, so an unbounded table is a trivial
+    memory DoS on the admission edge).  Eviction prefers **full**
+    buckets in least-recently-used order — a full bucket is stateless,
+    so dropping and later recreating it is behaviorally invisible.
+    Only when every bucket is mid-refill does LRU eviction touch a
+    non-full one; that tenant's next request restarts at a full burst,
+    a bounded forgiveness accepted in exchange for bounded memory.
     """
 
     def __init__(
@@ -102,25 +111,67 @@ class TenantRateLimiter:
         burst: float,
         overrides: dict[str, tuple[float, float]] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        max_buckets: int = 4096,
     ) -> None:
+        if max_buckets < 1:
+            raise ValueError(
+                f"max_buckets must be >= 1, got {max_buckets}"
+            )
         self.rate = rate
         self.burst = burst
+        self.max_buckets = max_buckets
         self._overrides = dict(overrides or {})
         self._clock = clock
         self._buckets: dict[str, TokenBucket] = {}
         self._lock = threading.Lock()
+        self._evictions = 0
+
+    @property
+    def n_buckets(self) -> int:
+        """Live bucket count (the ``tenants.buckets`` gauge)."""
+        with self._lock:
+            return len(self._buckets)
+
+    @property
+    def evictions(self) -> int:
+        """Buckets evicted so far (full + LRU)."""
+        with self._lock:
+            return self._evictions
 
     def allow(self, tenant: str) -> bool:
         validate_tenant(tenant)
         with self._lock:
-            bucket = self._buckets.get(tenant)
+            # dict preserves insertion order: pop + reinsert keeps the
+            # table in LRU order with the newest use at the end.
+            bucket = self._buckets.pop(tenant, None)
             if bucket is None:
                 rate, burst = self._overrides.get(
                     tenant, (self.rate, self.burst)
                 )
                 bucket = TokenBucket(rate, burst, clock=self._clock)
-                self._buckets[tenant] = bucket
-            return bucket.try_acquire()
+            self._buckets[tenant] = bucket
+            ok = bucket.try_acquire()
+            if len(self._buckets) > self.max_buckets:
+                self._evict_locked()
+            return ok
+
+    def _evict_locked(self) -> None:
+        excess = len(self._buckets) - self.max_buckets
+        if excess <= 0:
+            return
+        # Pass 1: full buckets are free to drop (recreation restores
+        # identical state), oldest use first.
+        for tenant in [
+            t for t, b in self._buckets.items() if b.tokens >= b.burst
+        ][:excess]:
+            del self._buckets[tenant]
+            self._evictions += 1
+        # Pass 2: still over the cap — drop the least recently used
+        # regardless (the tenant just served sits safely at the end).
+        excess = len(self._buckets) - self.max_buckets
+        for tenant in list(self._buckets)[:excess]:
+            del self._buckets[tenant]
+            self._evictions += 1
 
 
 def parse_tenant_weights(pairs: list[str]) -> dict[str, float]:

@@ -28,6 +28,7 @@ __all__ = [
     "positive_int",
     "memory_size",
     "add_parallel_flags",
+    "backend_from_args",
     "add_telemetry_flags",
     "add_reliability_flags",
     "policy_from_args",
@@ -94,6 +95,36 @@ def add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         default="inherit",
         help="how workers see the k-spectrum: fork copy-on-write "
              "pages (inherit) or explicit shared-memory segments",
+    )
+    g.add_argument(
+        "--backend", choices=["threads", "fork", "socket"], default=None,
+        help="execution substrate for the chunk loop (default: the "
+             "legacy fork pool); 'socket' runs separate worker "
+             "processes owning spectrum shards",
+    )
+    g.add_argument(
+        "--shards", type=positive_int, default=None,
+        help="spectrum shards for --backend socket "
+             "(default: one per worker)",
+    )
+
+
+def backend_from_args(args):
+    """Build the distributed backend selected by ``--backend``.
+
+    Returns None when no backend flag was given (legacy path).  The
+    returned instance is caller-owned: shut it down when done.
+    """
+    if getattr(args, "backend", None) is None:
+        if getattr(args, "shards", None) is not None:
+            raise SystemExit("--shards requires --backend socket")
+        return None
+    if args.shards is not None and args.backend != "socket":
+        raise SystemExit("--shards requires --backend socket")
+    from ..distributed.backend import create_backend
+
+    return create_backend(
+        args.backend, workers=args.workers, shards=args.shards or 0
     )
 
 

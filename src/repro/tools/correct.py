@@ -24,6 +24,7 @@ from ..mapreduce.reliable import add_reliability_flags, policy_from_args
 from .common import (
     add_parallel_flags,
     add_telemetry_flags,
+    backend_from_args,
     deprecation_note,
     memory_size,
     positive_int,
@@ -293,19 +294,27 @@ def _run_stream(args: argparse.Namespace, tel) -> int:
     # The incremental output is staged through the atomic writer: the
     # final path appears only once every block has been written, so a
     # mid-run kill never leaves a truncated FASTQ behind.
-    with telemetry.span("correct", method=args.method, stream=True):
-        with atomic_writer(args.output, "wt") as out_handle:
-            for block, report in correct_stream(
-                corrector,
-                chunks(error_counts),
-                workers=args.workers,
-                chunk_size=args.chunk_size,
-                policy=policy,
-                spectrum_backing=args.spectrum_backing,
-            ):
-                n_changed += int((report.reads.codes != block.codes).sum())
-                n_out += block.n_reads
-                write_fastq(report.reads, out_handle)
+    backend = backend_from_args(args)
+    try:
+        with telemetry.span("correct", method=args.method, stream=True):
+            with atomic_writer(args.output, "wt") as out_handle:
+                for block, report in correct_stream(
+                    corrector,
+                    chunks(error_counts),
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    policy=policy,
+                    spectrum_backing=args.spectrum_backing,
+                    backend=backend,
+                ):
+                    n_changed += int(
+                        (report.reads.codes != block.codes).sum()
+                    )
+                    n_out += block.n_reads
+                    write_fastq(report.reads, out_handle)
+    finally:
+        if backend is not None:
+            backend.shutdown()
     if args.on_error == "skip":
         tel.registry.merge(error_counts)
         skipped = error_counts.get("skipped_records", 0)
@@ -350,6 +359,7 @@ def _run(args: argparse.Namespace, tel) -> int:
             )
 
     policy = policy_from_args(args)
+    backend = backend_from_args(args)
 
     def _correct():
         with telemetry.span("fit", method=args.method):
@@ -374,6 +384,7 @@ def _run(args: argparse.Namespace, tel) -> int:
                     chunk_size=args.chunk_size,
                     policy=policy,
                     spectrum_backing=args.spectrum_backing,
+                    backend=backend,
                 )
             s = report.summary()
             print(
@@ -399,21 +410,25 @@ def _run(args: argparse.Namespace, tel) -> int:
         h.update(repr((args.method, args.k, args.genome_length)).encode())
         fingerprint = h.hexdigest()
     cached = store.load("corrected", 0, fingerprint) if store else None
-    if cached is not None:
-        corrected = cached[0]
-        telemetry.count("checkpoint_resumes")
-        print("resumed corrected reads from checkpoint")
-    else:
-        if policy is not None:
-            corrected = call_with_retries(
-                _correct, policy, counters=tel.registry,
-                description=f"{args.method} correction",
-            )
+    try:
+        if cached is not None:
+            corrected = cached[0]
+            telemetry.count("checkpoint_resumes")
+            print("resumed corrected reads from checkpoint")
         else:
-            corrected = _correct()
-        if store is not None:
-            with telemetry.span("checkpoint_save"):
-                store.save("corrected", 0, fingerprint, corrected)
+            if policy is not None:
+                corrected = call_with_retries(
+                    _correct, policy, counters=tel.registry,
+                    description=f"{args.method} correction",
+                )
+            else:
+                corrected = _correct()
+            if store is not None:
+                with telemetry.span("checkpoint_save"):
+                    store.save("corrected", 0, fingerprint, corrected)
+    finally:
+        if backend is not None:
+            backend.shutdown()
     n_changed = int((corrected.codes != reads.codes).sum())
     with telemetry.span("write_output", path=str(args.output)):
         write_fastq(corrected, args.output)

@@ -1,0 +1,298 @@
+"""Regression tests for the client/server correctness fix pass.
+
+Three bugs share this file because they share one failure shape —
+the happy path worked, the awkward path silently did the wrong thing:
+
+- job ids were interpolated raw into URL paths, so an id containing
+  ``/``, ``?``, ``#`` or spaces rewrote the route (404 or, worse, a
+  *different* resource);
+- a retried ``POST /v1/jobs`` whose first response was lost duplicated
+  the job server-side;
+- :meth:`JobsClient.wait` read the real clock, so its timeout
+  contract was untestable and drifted with scheduler hiccups.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.service.client import (
+    HTTPTransport,
+    JobsClient,
+    LocalTransport,
+    ServiceError,
+    _quoted,
+)
+from repro.service.http import JobsHTTPServer, ServiceAPI
+from repro.service.spec import JobSpec
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    from repro.tools.simulate import main as simulate_main
+
+    out = tmp_path / "data"
+    assert simulate_main(
+        [str(out), "--genome-length", "1000", "--coverage", "4",
+         "--seed", "3"]
+    ) == 0
+    return out / "reads.fastq"
+
+
+class _Server:
+    """In-process serve-http on an ephemeral port (no subprocess)."""
+
+    def __init__(self, spool, **api_kwargs):
+        self.api = ServiceAPI(spool, **api_kwargs)
+        self.server = JobsHTTPServer(("127.0.0.1", 0), self.api)
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=10)
+        self.api.close()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = _Server(tmp_path / "spool")
+    yield srv
+    srv.close()
+
+
+def _spec(dataset, out):
+    return JobSpec(input=str(dataset), output=str(out), chunk_size=256)
+
+
+# -- URL quoting -------------------------------------------------------------
+#: Valid as a job id, hostile as a URL: a path separator, a query
+#: delimiter, a fragment marker, a space, and a pre-encoded octet.
+AWKWARD_ID = "jobs/../run 7?x=1#frag%2F"
+
+
+def test_quoted_keeps_id_a_single_segment():
+    assert "/" not in _quoted(AWKWARD_ID)
+    assert "?" not in _quoted(AWKWARD_ID)
+    assert "#" not in _quoted(AWKWARD_ID)
+    assert _quoted("jobs/evil") == "jobs%2Fevil"
+
+
+class TestUrlQuotingRoundTrip:
+    def test_awkward_id_round_trips_over_http(
+        self, server, dataset, tmp_path
+    ):
+        client = JobsClient(HTTPTransport(server.url))
+        job = client.submit(
+            _spec(dataset, tmp_path / "out.fastq"), job_id=AWKWARD_ID
+        )
+        assert job.id == AWKWARD_ID
+
+        # GET routes to the job, not to a rewritten path.
+        assert client.get(AWKWARD_ID).id == AWKWARD_ID
+
+        # The /result subpath resolves past the encoded id (409
+        # not-ready proves the route matched; 404 would mean the id
+        # was mangled in flight).
+        with pytest.raises(ServiceError) as err:
+            client.result(AWKWARD_ID, tmp_path / "res.fastq")
+        assert err.value.status == 409
+
+        # DELETE and POST .../retry hit the same record.
+        assert client.cancel(AWKWARD_ID).state == "cancelled"
+        assert client.retry(AWKWARD_ID).state == "pending"
+
+    def test_list_query_values_are_encoded(self, server, dataset, tmp_path):
+        client = JobsClient(HTTPTransport(server.url))
+        client.submit(
+            _spec(dataset, tmp_path / "out.fastq"), tenant="team-a"
+        )
+        jobs, counts = client.list(tenant="team-a")
+        assert len(jobs) == 1 and counts.get("pending") == 1
+        # A filter value with URL metacharacters must reach the server
+        # verbatim.  Unencoded, this would split into two parameters
+        # and the valid ``state=pending`` half would answer 200; the
+        # 400 proves the server saw the whole (invalid) value.
+        with pytest.raises(ServiceError) as err:
+            client.list(state="pending&tenant=team-a")
+        assert err.value.status == 400
+
+
+# -- idempotent submit -------------------------------------------------------
+class _DropFirstResponse:
+    """A retrying transport whose first submit response is lost.
+
+    The server processes the first POST, but the reply never arrives;
+    a real :class:`HTTPTransport` re-POSTs the identical document.
+    This wrapper reproduces exactly that wire history.
+    """
+
+    retries_submits = True
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.submit_documents = []
+
+    def submit(self, document):
+        self.submit_documents.append(document)
+        self._inner.submit(document)  # landed; response dropped
+        self.submit_documents.append(document)
+        return self._inner.submit(document)  # the replay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestIdempotentSubmit:
+    def test_dropped_response_does_not_duplicate_job(
+        self, server, dataset, tmp_path
+    ):
+        transport = _DropFirstResponse(HTTPTransport(server.url))
+        client = JobsClient(transport)
+        job = client.submit(_spec(dataset, tmp_path / "out.fastq"))
+
+        # Both attempts carried the same client-generated id, so the
+        # replay collided instead of minting a second job.
+        sent = transport.submit_documents
+        assert len(sent) == 2 and sent[0] is sent[1]
+        assert sent[0]["submit"]["job_id"] == job.id
+        assert re.fullmatch(r"job-[0-9a-f]{20}", job.id)
+        assert job.state == "pending"
+
+        jobs, _counts = client.list()
+        assert [j.id for j in jobs] == [job.id]
+
+    def test_distinct_submits_stay_distinct(self, server, dataset, tmp_path):
+        # Pre-generated ids are per-call: two intentional submits of
+        # the same spec must still create two jobs.
+        client = JobsClient(HTTPTransport(server.url))
+        a = client.submit(_spec(dataset, tmp_path / "a.fastq"))
+        b = client.submit(_spec(dataset, tmp_path / "b.fastq"))
+        assert a.id != b.id
+        jobs, _ = client.list()
+        assert {j.id for j in jobs} == {a.id, b.id}
+
+    def test_explicit_id_wins_over_pregeneration(
+        self, server, dataset, tmp_path
+    ):
+        client = JobsClient(HTTPTransport(server.url))
+        job = client.submit(
+            _spec(dataset, tmp_path / "out.fastq"), job_id="job-mine"
+        )
+        assert job.id == "job-mine"
+        # A genuine duplicate of a *caller-chosen* id is still a loud
+        # 409 — the fetch-on-conflict path is only for ids we minted.
+        with pytest.raises(ServiceError) as err:
+            client.submit(
+                _spec(dataset, tmp_path / "out2.fastq"), job_id="job-mine"
+            )
+        assert err.value.status == 409
+
+    def test_local_transport_keeps_server_assigned_ids(
+        self, tmp_path, dataset
+    ):
+        # LocalTransport never retries, so ids stay server-assigned —
+        # the CLI's --spool byte-compat tests depend on job-000001.
+        api = ServiceAPI(tmp_path / "spool")
+        try:
+            client = JobsClient(LocalTransport(api))
+            job = client.submit(_spec(dataset, tmp_path / "out.fastq"))
+            assert job.id == "job-000001"
+        finally:
+            api.close()
+
+
+# -- deterministic wait ------------------------------------------------------
+class SteppingClock:
+    """Returns scripted times; remembers how often it was read."""
+
+    def __init__(self, times):
+        self.times = list(times)
+        self.reads = 0
+
+    def __call__(self):
+        self.reads += 1
+        if len(self.times) > 1:
+            return self.times.pop(0)
+        return self.times[0]
+
+
+class TestWaitClock:
+    def _pending_client(self, tmp_path, dataset):
+        api = ServiceAPI(tmp_path / "spool")
+        client = JobsClient(LocalTransport(api))
+        job = client.submit(_spec(dataset, tmp_path / "out.fastq"))
+        return api, client, job
+
+    def test_timeout_fires_without_real_time(self, tmp_path, dataset):
+        api, client, job = self._pending_client(tmp_path, dataset)
+        try:
+            sleeps = []
+            clock = SteppingClock([0.0, 11.0])
+            with pytest.raises(TimeoutError) as err:
+                client.wait(
+                    job.id, timeout=10.0, poll=0.5,
+                    sleep=sleeps.append, clock=clock,
+                )
+            assert "pending" in str(err.value)
+            # Deadline passed on the first check: no sleep happened.
+            assert sleeps == []
+            assert clock.reads == 2  # deadline + one check
+        finally:
+            api.close()
+
+    def test_polls_until_deadline_then_raises(self, tmp_path, dataset):
+        api, client, job = self._pending_client(tmp_path, dataset)
+        try:
+            sleeps = []
+            clock = SteppingClock([0.0, 1.0, 2.0, 30.0])
+            with pytest.raises(TimeoutError):
+                client.wait(
+                    job.id, timeout=10.0, poll=0.25,
+                    sleep=sleeps.append, clock=clock,
+                )
+            assert sleeps == [0.25, 0.25]  # two polls before expiry
+        finally:
+            api.close()
+
+    def test_terminal_state_returns_without_clock_reads(
+        self, tmp_path, dataset
+    ):
+        api, client, job = self._pending_client(tmp_path, dataset)
+        try:
+            client.cancel(job.id)
+            clock = SteppingClock([0.0])
+
+            def no_sleep(_):  # pragma: no cover - must not be called
+                raise AssertionError("wait() slept on a terminal job")
+
+            done = client.wait(
+                job.id, timeout=10.0, sleep=no_sleep, clock=clock
+            )
+            assert done.state == "cancelled"
+            assert clock.reads == 1  # only the deadline computation
+        finally:
+            api.close()
+
+    def test_no_timeout_never_reads_clock(self, tmp_path, dataset):
+        api, client, job = self._pending_client(tmp_path, dataset)
+        try:
+            client.cancel(job.id)
+
+            def forbidden():  # pragma: no cover - must not be called
+                raise AssertionError("wait(timeout=None) read the clock")
+
+            done = client.wait(job.id, timeout=None, clock=forbidden)
+            assert done.done
+        finally:
+            api.close()

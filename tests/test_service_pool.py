@@ -215,3 +215,139 @@ class TestBuildLatch:
         for t in threads:
             t.join(timeout=10)
         assert sorted(done) == ["a", "b"]
+
+
+class TestFlakyBuilderUnderConcurrency:
+    """get_or_build failure paths: a builder that dies with waiters
+    queued must release exactly one waiter to retry, leak no latch,
+    and leave the byte/counter accounting untouched by the failure."""
+
+    def test_failure_releases_exactly_one_retrier(self):
+        pool = SpectrumPool()
+        attempts = []
+        attempt_started = [threading.Event() for _ in range(3)]
+        release = [threading.Event() for _ in range(3)]
+        results = []
+        errors = []
+
+        def flaky_builder():
+            n = len(attempts)
+            attempts.append(n)
+            attempt_started[n].set()
+            release[n].wait(timeout=10)
+            if n == 0:
+                raise RuntimeError("fit exploded")
+            return {"b": np.zeros(16, dtype=np.uint8)}, {"attempt": n}
+
+        def worker():
+            try:
+                results.append(pool.get_or_build(("k",), flaky_builder))
+            except RuntimeError as e:
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads[0].start()
+        assert attempt_started[0].wait(timeout=10)
+        # Two waiters pile onto the in-flight build's latch.  (The
+        # assertions below hold for any interleaving — this pause just
+        # makes the interesting one, both queued before the failure,
+        # the one that actually runs.)
+        threads[1].start()
+        threads[2].start()
+        threading.Event().wait(0.2)
+        release[0].set()  # first build fails now
+
+        # Exactly one waiter retries; the other waits on the new
+        # latch.  Let the retry succeed.
+        assert attempt_started[1].wait(timeout=10)
+        release[1].set()
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive()
+
+        assert len(errors) == 1, "only the original builder sees the error"
+        assert len(results) == 2, "both waiters complete"
+        assert len(attempts) == 2, "one failed build + one retry, no more"
+        entries = {id(entry) for entry, _hit in results}
+        assert len(entries) == 1, "waiters share the retried entry"
+        assert sorted(hit for _entry, hit in results) == [False, True]
+
+    def test_failure_leaks_no_latch_and_no_accounting(self):
+        pool = SpectrumPool()
+
+        def failing():
+            raise RuntimeError("fit exploded")
+
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                pool.get_or_build(("k",), failing)
+            with pool._lock:
+                assert pool._building == {}, "latch must not leak"
+        stats = pool.stats()
+        assert stats == {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "entries": 0, "bytes": 0,
+        }, "failed builds must not touch counters or byte accounting"
+
+    def test_bytes_consistent_after_mixed_failures(self):
+        pool = SpectrumPool()
+        calls = []
+
+        def sometimes(tag, fail):
+            def build():
+                calls.append(tag)
+                if fail:
+                    raise RuntimeError(tag)
+                return {tag: np.zeros(32, dtype=np.uint8)}, {}
+
+            return build
+
+        with pytest.raises(RuntimeError):
+            pool.get_or_build(("a",), sometimes("a-fail", True))
+        entry_a, _ = pool.get_or_build(("a",), sometimes("a-ok", False))
+        with pytest.raises(RuntimeError):
+            pool.get_or_build(("b",), sometimes("b-fail", True))
+        entry_b, _ = pool.get_or_build(("b",), sometimes("b-ok", False))
+        stats = pool.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] == entry_a.nbytes + entry_b.nbytes
+        assert stats["misses"] == 2  # only successful builds count
+        # Both keys answer as hits now; bytes unchanged.
+        assert pool.get_or_build(("a",), sometimes("x", True))[1]
+        assert pool.get_or_build(("b",), sometimes("x", True))[1]
+        assert pool.stats()["bytes"] == stats["bytes"]
+
+    def test_concurrent_distinct_keys_with_one_failing(self):
+        pool = SpectrumPool()
+        barrier = threading.Barrier(2, timeout=10)
+        outcomes = {}
+
+        def make(tag, fail):
+            def build():
+                barrier.wait()  # both builds genuinely in flight
+                if fail:
+                    raise RuntimeError(tag)
+                return {tag: np.zeros(8, dtype=np.uint8)}, {}
+
+            return build
+
+        def worker(tag, fail):
+            try:
+                outcomes[tag] = pool.get_or_build((tag,), make(tag, fail))
+            except RuntimeError:
+                outcomes[tag] = "raised"
+
+        threads = [
+            threading.Thread(target=worker, args=("good", False)),
+            threading.Thread(target=worker, args=("bad", True)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert outcomes["bad"] == "raised"
+        entry, hit = outcomes["good"]
+        assert isinstance(entry, PoolEntry) and not hit
+        with pool._lock:
+            assert pool._building == {}
+        assert pool.stats()["entries"] == 1

@@ -119,6 +119,105 @@ class TestTenantRateLimiter:
         assert [limiter.allow("other") for _ in range(2)] == [True, False]
 
 
+class TestBoundedBuckets:
+    """The bucket table must stay bounded: every distinct tenant name
+    allocates an entry, so an unbounded dict is a trivial memory DoS
+    on the admission edge."""
+
+    def test_table_never_exceeds_cap(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=1.0, burst=2.0, clock=clock, max_buckets=8
+        )
+        for i in range(100):
+            limiter.allow(f"tenant-{i}")
+        assert limiter.n_buckets <= 8
+        assert limiter.evictions == 100 - limiter.n_buckets
+
+    def test_full_buckets_evicted_before_draining_ones(self):
+        # "free" gets an override that refills instantly, so its
+        # bucket is always full (behaviorally stateless); the default
+        # rate of 0 keeps every other bucket mid-drain forever.
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=0.0, burst=2.0, clock=clock, max_buckets=2,
+            overrides={"free": (1e9, 1.0)},
+        )
+        assert limiter.allow("free")     # refills to full immediately
+        clock.advance(1.0)
+        assert limiter.allow("busy")     # 1 of 2 tokens left: not full
+        assert limiter.allow("newcomer")  # over cap -> evict
+        # "free" (full, behaviorally stateless) went first even though
+        # "busy" was less recently used than "newcomer".
+        assert limiter.n_buckets == 2
+        assert limiter.evictions == 1
+        # "busy" kept its drained state: one token left, then dry.
+        assert limiter.allow("busy")
+        assert not limiter.allow("busy")
+
+    def test_lru_eviction_when_no_bucket_is_full(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=0.0, burst=2.0, clock=clock, max_buckets=2
+        )
+        assert limiter.allow("old")   # 1/2 tokens: mid-refill forever
+        assert limiter.allow("mid")
+        assert limiter.allow("new")   # evicts "old" (least recent)
+        assert limiter.n_buckets == 2
+        assert limiter.evictions == 1
+        # "mid" kept its drained state; "old" was forgiven (bounded
+        # forgiveness: a recreated bucket restarts at full burst).
+        assert limiter.allow("mid")
+        assert not limiter.allow("mid")
+        assert limiter.allow("old")
+
+    def test_just_served_tenant_is_never_the_victim(self):
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=0.0, burst=1.0, clock=clock, max_buckets=1
+        )
+        for i in range(20):
+            name = f"t{i}"
+            assert limiter.allow(name)
+            # The tenant that just hit the limiter owns the one slot.
+            assert not limiter.allow(name)
+
+    def test_eviction_is_invisible_for_full_buckets(self):
+        # Dropping a full bucket and recreating it later is
+        # behaviorally identical to having kept it.
+        clock = FakeClock()
+        limiter = TenantRateLimiter(
+            rate=1.0, burst=2.0, clock=clock, max_buckets=1
+        )
+        assert limiter.allow("a")
+        clock.advance(10.0)  # a's bucket refills to full
+        assert limiter.allow("b")  # evicts a (full)
+        assert [limiter.allow("a") for _ in range(3)] == [
+            True, True, False,  # fresh bucket == refilled bucket
+        ]
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            TenantRateLimiter(rate=1.0, burst=1.0, max_buckets=0)
+
+    def test_gauges_surface_in_metrics(self, tmp_path):
+        from repro.service.http import ServiceAPI
+
+        api = ServiceAPI(
+            tmp_path / "spool",
+            rate_limiter=TenantRateLimiter(rate=10.0, burst=5.0),
+        )
+        try:
+            api.rate_limiter.allow("a")
+            api.rate_limiter.allow("b")
+            _status, envelope = api.metrics()
+            gauges = envelope["metrics"]["gauges"]
+            assert gauges["tenants.buckets"] == 2.0
+            assert gauges["tenants.bucket_evictions"] == 0.0
+        finally:
+            api.close()
+
+
 class TestWeightFlags:
     def test_parse(self):
         weights = parse_tenant_weights(["acme=2", "lab=0.5"])
