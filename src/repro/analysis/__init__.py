@@ -14,19 +14,33 @@ machine-checked AST rules:
   ``# repro: noqa[RULE]`` suppression, and baseline filtering;
 - :mod:`~repro.analysis.baseline` — the committed grandfather file
   (shipped empty: every pre-existing finding is fixed or justified);
+- :mod:`~repro.analysis.project` — the whole-program pass:
+  :class:`ProjectContext` (import graph + cross-module symbol index)
+  and the :class:`ProjectRule` base class rules opt into;
 - :mod:`~repro.analysis.rules` — the built-in rule packs
   (determinism REP1xx, resource hygiene REP2xx, fork safety REP3xx,
-  exception hygiene REP4xx, telemetry contract REP5xx);
+  exception hygiene REP4xx, telemetry contract REP5xx, concurrency
+  and distributed safety REP6xx);
+- :mod:`~repro.analysis.locksan` — the runtime lock-order sanitizer
+  (``REPRO_LOCKSAN=1``), the dynamic complement to REP601/REP602;
 - :mod:`~repro.analysis.cli` — ``python -m repro lint``.
 
 Like :mod:`repro.telemetry`, this package imports nothing from the
-rest of repro at module load (the telemetry-contract rule reads the
-report schema lazily), so it can lint a broken tree.
+rest of repro at module load (the contract rules read their schemas
+lazily; REP603 enforces the property on the package itself), so it
+can lint a broken tree.
 """
 
 from .baseline import Baseline
 from .core import Finding, Rule, all_rules, get_rule, register_rule
 from .engine import LintResult, lint_paths, lint_source
+from .project import (
+    ImportEdge,
+    ModuleInfo,
+    ProjectContext,
+    ProjectRule,
+    build_project,
+)
 from .cli import (
     LINT_JSON_SCHEMA,
     LINT_SCHEMA_VERSION,
@@ -44,6 +58,11 @@ __all__ = [
     "LintResult",
     "lint_paths",
     "lint_source",
+    "ImportEdge",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectRule",
+    "build_project",
     "LINT_SCHEMA_VERSION",
     "LINT_JSON_SCHEMA",
     "validate_lint_report_dict",

@@ -57,19 +57,22 @@ class Baseline:
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":
-        entries: list[dict[str, object]] = [
-            {
-                "rule": f.rule,
-                "path": f.path,
-                "message": f.message,
-                "fingerprint": f.fingerprint(),
-            }
-            for f in sorted(findings)
-        ]
-        return cls(
-            fingerprints={str(e["fingerprint"]) for e in entries},
-            entries=entries,
-        )
+        entries: list[dict[str, object]] = []
+        seen: set[str] = set()
+        for f in sorted(findings):
+            fp = f.fingerprint()
+            if fp in seen:
+                continue  # same finding on several lines: one entry
+            seen.add(fp)
+            entries.append(
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                    "fingerprint": fp,
+                }
+            )
+        return cls(fingerprints=seen, entries=entries)
 
     def contains(self, finding: Finding) -> bool:
         return finding.fingerprint() in self.fingerprints

@@ -210,6 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="regenerate the baseline from current findings — prunes "
+        "entries that no longer fire, adds new ones, keeps the file "
+        "sorted and schema-validated — and exit 0",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the project-wide pass (import graph and cross-module "
+        "rules such as REP601-REP603)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -276,9 +287,10 @@ def _main(argv: list[str] | None = None) -> int:
             )
             return 2
 
+    rewriting = args.write_baseline or args.update_baseline
     baseline = None
     baseline_path = args.baseline
-    if not args.no_baseline and not args.write_baseline:
+    if not args.no_baseline and not rewriting:
         if baseline_path is None and Path(DEFAULT_BASELINE_NAME).is_file():
             baseline_path = DEFAULT_BASELINE_NAME
         if baseline_path is not None:
@@ -288,15 +300,37 @@ def _main(argv: list[str] | None = None) -> int:
                 print(f"repro lint: cannot load baseline: {e}", file=sys.stderr)
                 return 2
 
-    result = lint_paths(paths, rules=rules, baseline=baseline)
+    result = lint_paths(
+        paths, rules=rules, baseline=baseline, project=not args.no_project
+    )
 
-    if args.write_baseline:
+    if rewriting:
         target = args.baseline or DEFAULT_BASELINE_NAME
+        before: set[str] = set()
+        if args.update_baseline and Path(target).is_file():
+            try:
+                before = Baseline.load(target).fingerprints
+            except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+                print(f"repro lint: cannot load baseline: {e}", file=sys.stderr)
+                return 2
         Baseline.from_findings(result.findings).write(target)
-        print(
-            f"repro lint: wrote {len(result.findings)} finding(s) to {target}",
-            file=sys.stderr,
-        )
+        # Round-trip through the loader so a malformed write can never
+        # land silently — the schema check is the validation.
+        reloaded = Baseline.load(target)
+        if args.update_baseline:
+            added = len(reloaded.fingerprints - before)
+            pruned = len(before - reloaded.fingerprints)
+            print(
+                f"repro lint: baseline {target} updated — "
+                f"{len(reloaded)} entr{'y' if len(reloaded) == 1 else 'ies'}, "
+                f"{added} added, {pruned} pruned",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"repro lint: wrote {len(reloaded)} finding(s) to {target}",
+                file=sys.stderr,
+            )
         return 0
 
     if args.format == "json":

@@ -1,8 +1,12 @@
 """File walking, parsing, suppression, and baseline filtering.
 
-The engine turns paths into :class:`LintResult`\\ s: every ``*.py``
-file is parsed once, every registered rule walks the tree, and the
-raw findings are filtered through two escape hatches —
+The engine turns paths into :class:`LintResult`\\ s in two passes:
+every ``*.py`` file is parsed once and walked by the per-file rules,
+then the parsed modules are assembled into one
+:class:`~repro.analysis.project.ProjectContext` and every
+:class:`~repro.analysis.project.ProjectRule` runs once over the whole
+program (import graph, cross-module lock ordering, layering).  Raw
+findings from both passes flow through the same two escape hatches —
 
 - **inline suppressions**: a ``# repro: noqa[REP101]`` comment on the
   flagged line (comma-separated ids; a justification after ``--`` is
@@ -25,6 +29,7 @@ from typing import Iterable, Sequence
 
 from .baseline import Baseline
 from .core import FileContext, Finding, Rule, all_rules
+from .project import ProjectContext, ProjectRule, build_project
 
 #: ``# repro: noqa[REP101,REP202] -- why this is fine``
 _NOQA_RE = re.compile(
@@ -72,12 +77,44 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
     return out
 
 
+def split_rules(
+    rules: Sequence[Rule] | None,
+) -> tuple[list[Rule], list[ProjectRule]]:
+    """Partition a rule set into (per-file rules, project rules)."""
+    active = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def _route_finding(
+    finding: Finding,
+    suppressions: dict[str, dict[int, set[str]]],
+    baseline: Baseline | None,
+    result: LintResult,
+) -> None:
+    """File a raw finding under findings/suppressed/baselined."""
+    per_line = suppressions.get(finding.path, {})
+    if finding.rule in per_line.get(finding.line, set()):
+        result.suppressed.append(finding)
+    elif baseline is not None and baseline.contains(finding):
+        result.baselined.append(finding)
+    else:
+        result.findings.append(finding)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Sequence[Rule] | None = None,
+    project: bool = True,
 ) -> LintResult:
-    """Lint one source string (suppressions applied, no baseline)."""
+    """Lint one source string (suppressions applied, no baseline).
+
+    Project rules run over a single-module project context, so every
+    rule — including the whole-program pack — is exercisable from one
+    string; pass ``project=False`` to skip that pass.
+    """
     result = LintResult(n_files=1)
     try:
         tree = ast.parse(source, filename=path)
@@ -85,13 +122,16 @@ def lint_source(
         result.errors[path] = f"syntax error: {e.msg} (line {e.lineno})"
         return result
     ctx = FileContext(path=path, source=source)
-    suppressions = parse_suppressions(source)
-    for rule in rules if rules is not None else all_rules():
+    suppressions = {path: parse_suppressions(source)}
+    file_rules, project_rules = split_rules(rules)
+    for rule in file_rules:
         for finding in rule.check(tree, ctx):
-            if finding.rule in suppressions.get(finding.line, set()):
-                result.suppressed.append(finding)
-            else:
-                result.findings.append(finding)
+            _route_finding(finding, suppressions, None, result)
+    if project and project_rules:
+        project_ctx = build_project([(path, source, tree)])
+        for project_rule in project_rules:
+            for finding in project_rule.check_project(project_ctx):
+                _route_finding(finding, suppressions, None, result)
     result.findings.sort()
     result.suppressed.sort()
     return result
@@ -135,16 +175,20 @@ def lint_paths(
     rules: Sequence[Rule] | None = None,
     baseline: Baseline | None = None,
     root: str | Path | None = None,
+    project: bool = True,
 ) -> LintResult:
     """Lint every python file under ``paths``.
 
     ``root`` (default: the current directory) anchors the repo-relative
     paths reported in findings, keeping fingerprints stable no matter
-    where the linter is invoked from.
+    where the linter is invoked from.  ``project=False`` skips the
+    whole-program pass (the fast per-file edit loop).
     """
     root_path = Path(root) if root is not None else Path.cwd()
-    active_rules = list(rules) if rules is not None else all_rules()
+    file_rules, project_rules = split_rules(rules)
     result = LintResult()
+    suppressions: dict[str, dict[int, set[str]]] = {}
+    parsed: list[tuple[str, str, ast.Module]] = []
     for file_path in iter_python_files(paths):
         display = _display_path(file_path, root_path)
         try:
@@ -152,15 +196,25 @@ def lint_paths(
         except (OSError, UnicodeDecodeError) as e:
             result.errors[display] = str(e)
             continue
-        file_result = lint_source(source, path=display, rules=active_rules)
         result.n_files += 1
-        result.errors.update(file_result.errors)
-        result.suppressed.extend(file_result.suppressed)
-        for finding in file_result.findings:
-            if baseline is not None and baseline.contains(finding):
-                result.baselined.append(finding)
-            else:
-                result.findings.append(finding)
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as e:
+            result.errors[display] = (
+                f"syntax error: {e.msg} (line {e.lineno})"
+            )
+            continue
+        suppressions[display] = parse_suppressions(source)
+        parsed.append((display, source, tree))
+        ctx = FileContext(path=display, source=source)
+        for rule in file_rules:
+            for finding in rule.check(tree, ctx):
+                _route_finding(finding, suppressions, baseline, result)
+    if project and project_rules and parsed:
+        project_ctx = build_project(parsed)
+        for project_rule in project_rules:
+            for finding in project_rule.check_project(project_ctx):
+                _route_finding(finding, suppressions, baseline, result)
     result.findings.sort()
     result.suppressed.sort()
     result.baselined.sort()

@@ -1,0 +1,483 @@
+"""Runtime lock-order sanitizer (``REPRO_LOCKSAN=1``).
+
+The REP601/REP602 static rules reason about *names*; this module is
+their dynamic complement and reasons about *objects*.  When
+:func:`install` is active, ``threading.Lock`` / ``RLock`` /
+``Condition`` construct sanitized wrappers that record the
+per-process lock-acquisition DAG, keyed by allocation site
+(``file:line`` — lockdep-style classes, so every ``SpectrumPool``
+instance shares one node):
+
+- before any **blocking** acquire, the wrapper checks whether the new
+  edge would close a cycle in the order graph and raises
+  :class:`LockOrderViolation` — with the current stack *and* the
+  stack that installed the conflicting edge — instead of deadlocking
+  (CI hangs are the one outcome a sanitizer must never have);
+- :meth:`SanCondition.wait` checks for hold-while-blocking: waiting
+  releases only the condition's own lock, so any *other* lock still
+  held by the thread is held for the whole sleep.
+
+Every violation is also appended to a process-global list so the
+pytest plugin (``tests/conftest.py``) can fail the session even when
+the raising path was swallowed by an ``except Exception`` somewhere
+in the stack under test.
+
+Usage::
+
+    REPRO_LOCKSAN=1 PYTHONPATH=src python -m pytest tests/test_service_http.py
+
+or programmatically with :func:`install` / :func:`uninstall`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "LockOrderViolation",
+    "SanCondition",
+    "SanLock",
+    "SanRLock",
+    "install",
+    "installed",
+    "reset",
+    "uninstall",
+    "violations",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock-order cycle or hold-while-blocking hazard, at runtime."""
+
+
+class _Entry:
+    """One held lock on one thread's stack."""
+
+    __slots__ = ("site", "obj", "stack", "reentrant")
+
+    def __init__(
+        self, site: str, obj: object, stack: str, reentrant: bool
+    ) -> None:
+        self.site = site
+        self.obj = obj
+        self.stack = stack
+        self.reentrant = reentrant
+
+
+class _State:
+    """Process-global order graph (guarded by a *real* lock)."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.mu = _REAL_LOCK()
+        #: site -> {successor site}
+        self.succ: dict[str, set[str]] = {}
+        #: (site, successor) -> stack that first installed the edge
+        self.witness: dict[tuple[str, str], str] = {}
+        self.violations: list[LockOrderViolation] = []
+
+
+_state = _State()
+_tls = threading.local()
+_installed = False
+
+
+def _get_state() -> _State:
+    """The current process's state, self-healing across ``fork``.
+
+    A forked child inherits the parent's graph — and possibly its
+    mutex in a locked state, if another parent thread held it at fork
+    time.  ``os.register_at_fork`` cannot fix this reliably because
+    :mod:`threading`'s own after-fork hook registered earlier and
+    touches sanitized locks before ours would run, so instead every
+    state access rebuilds on PID change (the child is single-threaded
+    at that point, so the unguarded swap is safe).
+    """
+    global _state  # repro: noqa[REP301] -- the sanitizer is process-global by design; a forked child rebuilds rather than inherits
+    state = _state
+    if state.pid != os.getpid():
+        state = _State()
+        _state = state
+        _tls.held = []
+    return state
+
+
+def _held() -> list[_Entry]:
+    held: Optional[list[_Entry]] = getattr(_tls, "held", None)
+    if held is None:
+        held = []
+        _tls.held = held
+    return held
+
+
+def _site() -> str:
+    """Allocation site: innermost frame outside this module."""
+    for frame in reversed(traceback.extract_stack()):
+        if frame.filename != __file__:
+            return f"{frame.filename}:{frame.lineno}"
+    return "<unknown>"
+
+
+def _stack() -> str:
+    return "".join(traceback.format_stack()[:-2])
+
+
+def _app_site(site: str) -> bool:
+    """True when the lock was allocated by application code.
+
+    The stdlib has benign hold-while-blocking patterns of its own
+    (``ProcessPoolExecutor.submit`` holds its shutdown lock across
+    ``Thread.start``); a sanitizer that raises inside interpreter
+    internals kills stdlib worker threads and hangs the suite.  Edges
+    through interpreter-allocated locks are still *recorded* — a cycle
+    raises as soon as any lock in it belongs to the application.
+    """
+    path = site.rsplit(":", 1)[0]
+    return not path.startswith((sys.prefix, sys.base_prefix))
+
+
+def _fail(message: str) -> None:
+    violation = LockOrderViolation(message)
+    state = _get_state()
+    with state.mu:
+        state.violations.append(violation)
+    raise violation
+
+
+def _path_exists(src: str, targets: set[str]) -> Optional[list[str]]:
+    """BFS over the order graph; the path if ``src`` reaches a target."""
+    state = _get_state()
+    with state.mu:
+        succ = {a: set(b) for a, b in state.succ.items()}
+    if src in targets:
+        return [src]
+    queue: list[list[str]] = [[src]]
+    seen = {src}
+    while queue:
+        path = queue.pop(0)
+        for nxt in sorted(succ.get(path[-1], ())):
+            if nxt in targets:
+                return path + [nxt]
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(path + [nxt])
+    return None
+
+
+def _check_order(site: str, obj: object, kind: str) -> None:
+    """Raise (instead of deadlocking) if acquiring would close a cycle."""
+    held = _held()
+    targets = {e.site for e in held if e.site != site and e.obj is not obj}
+    if not targets:
+        return
+    path = _path_exists(site, targets)
+    if path is None:
+        return
+    if not _app_site(site) and not any(_app_site(s) for s in path):
+        return  # cycle lies entirely inside the interpreter's locks
+    holder = next(e for e in held if e.site == path[-1])
+    state = _get_state()
+    with state.mu:
+        edge_stack = state.witness.get((path[0], path[1]), "") if (
+            len(path) > 1
+        ) else ""
+    _fail(
+        f"lock-order cycle: acquiring {kind}({site}) while holding "
+        f"{holder.site}, but the reverse order "
+        f"{' -> '.join(path)} is already on record.\n"
+        f"--- held lock acquired at ---\n{holder.stack}\n"
+        f"--- conflicting order first recorded at ---\n{edge_stack}\n"
+        f"--- this acquire at ---\n{_stack()}"
+    )
+
+
+def _record(site: str, obj: object, reentrant: bool) -> None:
+    held = _held()
+    if not reentrant and held:
+        top = held[-1]
+        if top.site != site and top.obj is not obj:
+            state = _get_state()
+            with state.mu:
+                state.succ.setdefault(top.site, set()).add(site)
+                state.witness.setdefault((top.site, site), _stack())
+    held.append(_Entry(site, obj, _stack(), reentrant))
+
+
+def _unrecord(obj: object) -> None:
+    held = _held()
+    for i in range(len(held) - 1, -1, -1):
+        if held[i].obj is obj:
+            del held[i]
+            return
+    # Released by a thread that never acquired it (latch hand-off):
+    # nothing to unwind on this thread.
+
+
+def _unrecord_all(obj: object) -> None:
+    held = _held()
+    held[:] = [e for e in held if e.obj is not obj]
+
+
+class SanLock:
+    """Sanitized ``threading.Lock``."""
+
+    _kind = "Lock"
+
+    def __init__(self) -> None:
+        self._real = _REAL_LOCK()
+        self._san_site = _site()
+
+    def acquire(
+        self, blocking: bool = True, timeout: float = -1
+    ) -> bool:
+        if blocking:
+            if any(e.obj is self for e in _held()):
+                if self._real.acquire(False):
+                    # Latch hand-off: a worker thread released it, so
+                    # the bookkeeping entry on this thread is stale.
+                    _unrecord_all(self)
+                    _record(self._san_site, self, reentrant=False)
+                    return True
+                if _app_site(self._san_site):
+                    outer = next(
+                        e for e in _held() if e.obj is self
+                    )
+                    _fail(
+                        f"re-acquiring non-reentrant "
+                        f"Lock({self._san_site}) already held by this "
+                        f"thread — guaranteed self-deadlock.\n"
+                        f"--- first acquired at ---\n{outer.stack}\n"
+                        f"--- re-acquired at ---\n{_stack()}"
+                    )
+            _check_order(self._san_site, self, self._kind)
+            ok = self._real.acquire(True, timeout)
+        else:
+            # Non-blocking probes (Condition._is_owned style) cannot
+            # deadlock; acquire first so failures record nothing.
+            ok = self._real.acquire(False)
+        if ok:
+            _record(self._san_site, self, reentrant=False)
+        return ok
+
+    def release(self) -> None:
+        self._real.release()
+        _unrecord(self)
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    # Condition delegates these when present; providing them keeps its
+    # fallback from probing with acquire(0) (which would record noise).
+    def _is_owned(self) -> bool:
+        return self._real.locked()
+
+    def _release_save(self) -> None:
+        self.release()
+
+    def _acquire_restore(self, state: object) -> None:
+        self.acquire()
+
+    def _at_fork_reinit(self) -> None:
+        self._real._at_fork_reinit()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} site={self._san_site}>"
+
+
+class SanRLock:
+    """Sanitized ``threading.RLock`` (re-entry is not an order edge)."""
+
+    _kind = "RLock"
+
+    def __init__(self) -> None:
+        self._real = _REAL_RLOCK()
+        self._san_site = _site()
+
+    def acquire(
+        self, blocking: bool = True, timeout: float = -1
+    ) -> bool:
+        reentrant = self._real._is_owned()  # type: ignore[attr-defined]
+        if blocking:
+            if not reentrant:
+                _check_order(self._san_site, self, self._kind)
+            ok = self._real.acquire(True, timeout)
+        else:
+            ok = self._real.acquire(False)
+        if ok:
+            _record(self._san_site, self, reentrant=reentrant)
+        return ok
+
+    def release(self) -> None:
+        self._real.release()
+        _unrecord(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def _is_owned(self) -> bool:
+        return self._real._is_owned()  # type: ignore[attr-defined]
+
+    def _release_save(self) -> object:
+        state = self._real._release_save()  # type: ignore[attr-defined]
+        _unrecord_all(self)
+        return state
+
+    def _acquire_restore(self, state: object) -> None:
+        _check_order(self._san_site, self, self._kind)
+        self._real._acquire_restore(state)  # type: ignore[attr-defined]
+        _record(self._san_site, self, reentrant=False)
+
+    def _at_fork_reinit(self) -> None:
+        self._real._at_fork_reinit()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} site={self._san_site}>"
+
+
+class SanCondition:
+    """Sanitized ``threading.Condition`` with a hold-while-blocking
+    check on :meth:`wait` — waiting releases only the condition's own
+    lock, so any other lock this thread holds stays held for the whole
+    sleep."""
+
+    def __init__(self, lock: Any = None) -> None:
+        self._san_lock = lock if lock is not None else SanRLock()
+        self._real = _REAL_CONDITION(self._san_lock)
+
+    def __enter__(self) -> bool:
+        return bool(self._real.__enter__())
+
+    def __exit__(self, *exc: object) -> None:
+        self._real.__exit__(*exc)
+
+    def acquire(self, *args: Any) -> bool:
+        return bool(self._real.acquire(*args))
+
+    def release(self) -> None:
+        self._real.release()
+
+    def _check_wait(self) -> None:
+        others = [
+            e for e in _held()
+            if e.obj is not self._san_lock
+            and e.obj is not self
+            and _app_site(e.site)
+        ]
+        if others:
+            outer = others[-1]
+            _fail(
+                f"Condition.wait() releases only its own lock; this "
+                f"thread still holds {outer.site} for the whole "
+                f"wait (hold-while-blocking).\n"
+                f"--- held lock acquired at ---\n{outer.stack}\n"
+                f"--- wait() called at ---\n{_stack()}"
+            )
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._check_wait()
+        return bool(self._real.wait(timeout))
+
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+    ) -> bool:
+        # Reimplemented (rather than delegated) so every sleep goes
+        # through the checked wait() above.
+        import time as _time
+
+        endtime: Optional[float] = None
+        result = predicate()
+        while not result:
+            waittime: Optional[float] = None
+            if timeout is not None:
+                if endtime is None:
+                    endtime = _time.monotonic() + timeout
+                waittime = endtime - _time.monotonic()
+                if waittime <= 0:
+                    break
+            self.wait(waittime)
+            result = predicate()
+        return bool(result)
+
+    def notify(self, n: int = 1) -> None:
+        self._real.notify(n)
+
+    def notify_all(self) -> None:
+        self._real.notify_all()
+
+    def _at_fork_reinit(self) -> None:
+        self._real._at_fork_reinit()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return f"<SanCondition lock={self._san_lock!r}>"
+
+
+def install() -> None:
+    """Monkeypatch ``threading`` so new locks are sanitized.
+
+    Locks created *before* install (interpreter internals, module
+    globals of already-imported modules) stay real — the sanitizer
+    sees everything constructed while it is active, which for the
+    test suites is every service/distributed object under test.
+    """
+    global _installed  # repro: noqa[REP301] -- install toggles one process-global flag; never runs inside workers
+    if _installed:
+        return
+    _installed = True
+    threading.Lock = SanLock  # type: ignore[misc, assignment]
+    threading.RLock = SanRLock  # type: ignore[misc, assignment]
+    threading.Condition = SanCondition  # type: ignore[misc, assignment]
+
+
+def uninstall() -> None:
+    global _installed  # repro: noqa[REP301] -- mirror of install(); same process-global flag
+    if not _installed:
+        return
+    _installed = False
+    threading.Lock = _REAL_LOCK  # type: ignore[misc]
+    threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+    threading.Condition = _REAL_CONDITION  # type: ignore[misc]
+
+
+def installed() -> bool:
+    return _installed
+
+
+def violations() -> list[LockOrderViolation]:
+    """Every violation recorded this process, raised or swallowed."""
+    state = _get_state()
+    with state.mu:
+        return list(state.violations)
+
+
+def reset() -> None:
+    """Clear the order graph and the violation record (tests only)."""
+    global _state  # repro: noqa[REP301] -- test-only reset of the process-global graph
+    _state = _State()
+    _tls.held = []
+
+
+def render_report(found: Iterable[LockOrderViolation]) -> str:
+    lines = ["repro locksan: lock-order violations detected:"]
+    for i, v in enumerate(found, start=1):
+        first = str(v).splitlines()[0]
+        lines.append(f"  [{i}] {first}")
+    return "\n".join(lines)

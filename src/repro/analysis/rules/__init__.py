@@ -11,6 +11,7 @@ _PACKS = (
     "forksafety",
     "exceptions",
     "telemetry_contract",
+    "concurrency",
 )
 
 _loaded = False

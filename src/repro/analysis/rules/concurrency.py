@@ -1,0 +1,771 @@
+"""REP6xx: concurrency and distributed-safety rules (project-wide).
+
+Since PR 6 the byte-exactness guarantees ride on threads, locks,
+condition latches, and pickle-over-socket RPC spread across
+``service/`` and ``distributed/`` — properties no single-file AST walk
+can check.  This pack runs over the
+:class:`~repro.analysis.project.ProjectContext` whole-program pass:
+
+- **REP601** builds the static lock-acquisition-order graph from
+  nested ``with <lock>:`` / ``.acquire()`` scopes, propagates
+  acquisitions through resolved calls, and flags every edge of a
+  cross-module ordering cycle (plus direct re-acquisition of a
+  non-reentrant ``Lock``).
+- **REP602** flags blocking operations — socket sends/receives,
+  subprocess waits, ``framing`` RPC, future completion (which runs
+  done-callbacks synchronously) — issued while a ``threading`` lock is
+  held, directly or through a resolved call chain.
+- **REP603** enforces package layering from the import graph: the
+  algorithmic core must not import the serving stack, and
+  ``repro.analysis`` itself stays repro-import-free at load time.
+- **REP604** checks wire-contract drift: any dict literal tagged with
+  a known ``"schema"`` version may only use keys that schema's
+  validator declares.
+- **REP605** requires every pickle *deserialization* site to carry an
+  explicit trust justification (``# repro: noqa[REP605] -- why``),
+  because ``pickle.loads`` executes arbitrary code from the payload.
+
+The static model is deliberately conservative: only ``self.X``/
+module-level locks resolve to ordering-graph nodes (so two different
+objects' ``_lock`` attributes never alias), and only unambiguous call
+targets propagate.  The runtime complement — which sees real objects,
+not names — is :mod:`repro.analysis.locksan`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Iterator, Sequence
+
+from ..core import FileContext, Finding, Rule, dotted_name, register_rule
+from ..project import ModuleInfo, ProjectContext, ProjectRule
+
+# --------------------------------------------------------------------------
+# Lock model shared by REP601/REP602
+# --------------------------------------------------------------------------
+
+#: ``threading`` factory callables that create a lock-like object.
+_LOCK_FACTORIES = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+    "Lock": "Lock",
+    "RLock": "RLock",
+    "Condition": "Condition",
+}
+
+#: Call names (fully dotted) that block regardless of receiver.
+_BLOCKING_DOTTED = {
+    "time.sleep": "sleeps",
+    "subprocess.run": "waits for a subprocess",
+    "subprocess.call": "waits for a subprocess",
+    "subprocess.check_call": "waits for a subprocess",
+    "subprocess.check_output": "waits for a subprocess",
+    "subprocess.Popen": "spawns a subprocess",
+    "socket.create_connection": "opens a socket connection",
+    "select.select": "blocks in select",
+    "urllib.request.urlopen": "performs network IO",
+}
+
+#: Attribute-call tails that block whatever the receiver is.
+_BLOCKING_TAILS = {
+    "sendall": "performs socket IO",
+    "recv": "performs socket IO",
+    "recv_into": "performs socket IO",
+    "recvfrom": "performs socket IO",
+    "accept": "blocks accepting a connection",
+    "communicate": "waits for a subprocess",
+    "send_msg": "performs framed RPC",
+    "recv_msg": "performs framed RPC",
+    "set_result": "completes a Future (runs done-callbacks inline)",
+    "set_exception": "completes a Future (runs done-callbacks inline)",
+}
+
+
+def _lockish(name: str) -> bool:
+    """Heuristic: does this attribute/variable name denote a lock?"""
+    n = name.lower().lstrip("_")
+    return (
+        n.endswith("lock")
+        or n.endswith("mutex")
+        or n in ("cv", "cond", "condition")
+    )
+
+
+def _lock_factory_kind(func: ast.AST) -> str | None:
+    return _LOCK_FACTORIES.get(dotted_name(func))
+
+
+@dataclass(frozen=True)
+class _Held:
+    """One entry of the scanner's currently-held stack."""
+
+    #: Graph node id (``module.Class.attr``) or a synthetic
+    #: ``path::expr`` id for receivers we cannot resolve to a unique
+    #: lock object.
+    lock: str
+    #: Resolved ids participate in the ordering graph; synthetic ones
+    #: only count as "a lock is held" for REP602.
+    resolved: bool
+    kind: str
+
+
+@dataclass
+class _FnSummary:
+    """What one function does with locks, in source order."""
+
+    qual: str
+    info: ModuleInfo
+    #: (outer id, inner id, site) for resolved-lock nesting.
+    order_edges: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: Direct nesting of the same non-reentrant ``Lock``.
+    self_nests: list[tuple[str, ast.AST]] = field(default_factory=list)
+    #: (held-lock id, description, site) for direct blocking calls
+    #: made while at least one lock is held.
+    blocking: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: Blocking descriptions regardless of held state (for callers).
+    may_block: list[str] = field(default_factory=list)
+    #: (resolved held ids, innermost held id or None, callee qual,
+    #: site) for every resolved call.
+    calls: list[tuple[tuple[str, ...], str | None, str, ast.Call]] = field(
+        default_factory=list
+    )
+    #: Resolved lock ids this function acquires directly.
+    direct_locks: set[str] = field(default_factory=set)
+
+
+class _LockModel:
+    """Locks, per-function summaries, and the derived order graph."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.locks = _collect_locks(project)
+        self.summaries: dict[str, _FnSummary] = {}
+        for qual in sorted(project.functions):
+            info = project.function_module[qual]
+            self.summaries[qual] = _scan_function(
+                project, self.locks, qual, project.functions[qual], info
+            )
+        self.may_acquire = self._fixpoint_acquire()
+        self.blockers = self._fixpoint_block()
+
+    def _fixpoint_acquire(self) -> dict[str, frozenset[str]]:
+        may = {
+            q: frozenset(s.direct_locks) for q, s in self.summaries.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.summaries):
+                acc = set(may[qual])
+                for _held, _lbl, callee, _node in self.summaries[qual].calls:
+                    acc |= may.get(callee, frozenset())
+                if acc != may[qual]:
+                    may[qual] = frozenset(acc)
+                    changed = True
+        return may
+
+    def _fixpoint_block(self) -> dict[str, str]:
+        """qual -> one deterministic blocking description, if any."""
+        blockers = {
+            q: min(s.may_block)
+            for q, s in self.summaries.items()
+            if s.may_block
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(self.summaries):
+                if qual in blockers:
+                    continue
+                for _held, _lbl, callee, _node in self.summaries[qual].calls:
+                    if callee in blockers:
+                        blockers[qual] = blockers[callee]
+                        changed = True
+                        break
+        return blockers
+
+
+@lru_cache(maxsize=4)
+def _lock_model(project: ProjectContext) -> _LockModel:
+    # ProjectContext hashes by identity; the tiny cache just keeps the
+    # two REP60x rules from scanning the same run twice.
+    return _LockModel(project)
+
+
+def _collect_locks(project: ProjectContext) -> dict[str, str]:
+    """Map ``module.Class.attr`` / ``module.NAME`` -> lock kind."""
+    locks: dict[str, str] = {}
+    for cls_qual in sorted(project.classes):
+        cls_node = project.classes[cls_qual]
+        for node in ast.walk(cls_node):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            kind = _lock_factory_kind(node.value.func)
+            if kind is None:
+                continue
+            for tgt in node.targets:
+                d = dotted_name(tgt)
+                if d.startswith("self.") and "." not in d[len("self."):]:
+                    locks[f"{cls_qual}.{d[len('self.'):]}"] = kind
+                elif isinstance(tgt, ast.Name) and node in cls_node.body:
+                    locks[f"{cls_qual}.{tgt.id}"] = kind
+    for info in project.files:
+        base = info.module or info.path
+        for stmt in info.tree.body:
+            if not (
+                isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            kind = _lock_factory_kind(stmt.value.func)
+            if kind is None:
+                continue
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    locks[f"{base}.{tgt.id}"] = kind
+    return locks
+
+
+def _owner_class(
+    project: ProjectContext, qual: str, info: ModuleInfo
+) -> str | None:
+    """Class name when ``qual`` is a method of a top-level class."""
+    base = info.module or info.path
+    if not qual.startswith(base + "."):
+        return None
+    parts = qual[len(base) + 1:].split(".")
+    if len(parts) >= 2 and f"{base}.{parts[0]}" in project.classes:
+        return parts[0]
+    return None
+
+
+def _scan_function(
+    project: ProjectContext,
+    locks: dict[str, str],
+    qual: str,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    info: ModuleInfo,
+) -> _FnSummary:
+    summary = _FnSummary(qual=qual, info=info)
+    base = info.module or info.path
+    cls = _owner_class(project, qual, info)
+    held: list[_Held] = []
+
+    def lock_of(expr: ast.AST) -> _Held | None:
+        d = dotted_name(expr)
+        if not d:
+            return None
+        if d.startswith("self.") and "." not in d[len("self."):]:
+            attr = d[len("self."):]
+            if cls is not None:
+                rid = f"{base}.{cls}.{attr}"
+                if rid in locks:
+                    return _Held(rid, True, locks[rid])
+            if _lockish(attr):
+                return _Held(f"{info.path}::{d}", False, "Lock")
+            return None
+        if "." not in d:
+            rid = f"{base}.{d}"
+            if rid in locks:
+                return _Held(rid, True, locks[rid])
+            if _lockish(d):
+                return _Held(f"{info.path}::{d}", False, "Lock")
+            return None
+        if _lockish(d.rsplit(".", 1)[-1]):
+            return _Held(f"{info.path}::{d}", False, "Lock")
+        return None
+
+    def enter(entry: _Held, node: ast.AST) -> None:
+        for h in held:
+            if not (h.resolved and entry.resolved):
+                continue
+            if h.lock == entry.lock:
+                if entry.kind == "Lock":
+                    summary.self_nests.append((entry.lock, node))
+            else:
+                summary.order_edges.append((h.lock, entry.lock, node))
+        if entry.resolved:
+            summary.direct_locks.add(entry.lock)
+        held.append(entry)
+
+    def blocking_reason(call: ast.Call) -> str | None:
+        name = dotted_name(call.func)
+        if not name:
+            return None
+        if name in _BLOCKING_DOTTED:
+            return f"`{name}()` {_BLOCKING_DOTTED[name]}"
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "wait":
+            # `cond.wait()` releases *cond* — the designed pattern —
+            # but any OTHER lock stays held for the whole sleep.
+            receiver: _Held | None = None
+            if isinstance(call.func, ast.Attribute):
+                receiver = lock_of(call.func.value)
+            others = [
+                h for h in held
+                if receiver is None or h.lock != receiver.lock
+            ]
+            if receiver is not None and any(
+                h.lock == receiver.lock for h in held
+            ):
+                if others:
+                    return (
+                        f"`{name}()` releases only its own lock while"
+                        " waiting"
+                    )
+                return None
+            if held:
+                return f"`{name}()` blocks until notified"
+            return None
+        if tail == "join":
+            head = name.rsplit(".", 1)[0].lower()
+            if "thread" in head or "proc" in head or "worker" in head:
+                return f"`{name}()` waits for a thread/process"
+            return None
+        if tail in _BLOCKING_TAILS:
+            return f"`{name}()` {_BLOCKING_TAILS[tail]}"
+        return None
+
+    def handle_call(call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            entry = lock_of(func.value)
+            if entry is not None:
+                enter(entry, call)
+                return
+        if isinstance(func, ast.Attribute) and func.attr == "release":
+            entry = lock_of(func.value)
+            if entry is not None:
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i].lock == entry.lock:
+                        del held[i]
+                        break
+                return
+        if held:
+            reason = blocking_reason(call)
+            if reason is not None:
+                summary.blocking.append((held[-1].lock, reason, call))
+                summary.may_block.append(reason)
+                return
+        else:
+            reason = blocking_reason(call)
+            if reason is not None:
+                summary.may_block.append(reason)
+        callee = project.resolve_call(call, info.module, cls)
+        if callee is not None and callee != qual:
+            resolved_held = tuple(h.lock for h in held if h.resolved)
+            innermost = held[-1].lock if held else None
+            summary.calls.append((resolved_held, innermost, callee, call))
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            return  # nested scopes get their own summaries
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in node.items:
+                walk(item.context_expr)
+                entry = lock_of(item.context_expr)
+                if entry is not None:
+                    enter(entry, node)
+                    pushed += 1
+            for stmt in node.body:
+                walk(stmt)
+            for _ in range(pushed):
+                held.pop()
+            return
+        if isinstance(node, ast.Call):
+            handle_call(node)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    for stmt in fn.body:
+        walk(stmt)
+    summary.may_block.sort()
+    return summary
+
+
+def _tarjan_sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Iterative Tarjan: strongly connected components, deterministic."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in graph:
+                    continue
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(sorted(scc))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+# --------------------------------------------------------------------------
+# REP601 — lock-order inversion
+# --------------------------------------------------------------------------
+@register_rule
+class LockOrderInversion(ProjectRule):
+    id = "REP601"
+    name = "lock-order-inversion"
+    rationale = (
+        "Two code paths that acquire the same locks in opposite orders "
+        "deadlock under contention; the static acquisition-order graph "
+        "must stay acyclic across every module of the serving stack."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        model = _lock_model(project)
+        # One representative site per directed edge, first in sorted-
+        # qual order (deterministic across runs).
+        edges: dict[tuple[str, str], tuple[ModuleInfo, ast.AST]] = {}
+        findings: list[Finding] = []
+        for qual in sorted(model.summaries):
+            s = model.summaries[qual]
+            for lock, node in s.self_nests:
+                findings.append(
+                    self.project_finding(
+                        s.info,
+                        node,
+                        f"re-acquiring non-reentrant lock `{lock}` "
+                        "already held on this path (guaranteed "
+                        "self-deadlock)",
+                    )
+                )
+            for outer, inner, node in s.order_edges:
+                edges.setdefault((outer, inner), (s.info, node))
+            for resolved_held, _lbl, callee, call in s.calls:
+                for outer in resolved_held:
+                    for inner in sorted(model.may_acquire.get(callee, ())):
+                        if outer != inner:
+                            edges.setdefault(
+                                (outer, inner), (s.info, call)
+                            )
+        graph: dict[str, set[str]] = {}
+        for (a, b) in edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        for scc in _tarjan_sccs(graph):
+            if len(scc) < 2:
+                continue
+            members = set(scc)
+            cycle = " -> ".join(scc + [scc[0]])
+            for (a, b), (info, node) in sorted(edges.items()):
+                if a in members and b in members:
+                    findings.append(
+                        self.project_finding(
+                            info,
+                            node,
+                            f"acquiring `{b}` while holding `{a}` "
+                            "conflicts with the reverse order elsewhere "
+                            f"(cycle: {cycle})",
+                        )
+                    )
+        return _dedup(findings)
+
+
+# --------------------------------------------------------------------------
+# REP602 — blocking call under lock
+# --------------------------------------------------------------------------
+@register_rule
+class BlockingCallUnderLock(ProjectRule):
+    id = "REP602"
+    name = "blocking-call-under-lock"
+    rationale = (
+        "A lock held across socket IO, subprocess waits, or future "
+        "completion turns one slow or dead peer into a stalled process "
+        "and invites re-entrant deadlocks via done-callbacks."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        model = _lock_model(project)
+        findings: list[Finding] = []
+        for qual in sorted(model.summaries):
+            s = model.summaries[qual]
+            for lock, reason, node in s.blocking:
+                findings.append(
+                    self.project_finding(
+                        s.info,
+                        node,
+                        f"{reason} while holding `{_pretty(lock)}`",
+                    )
+                )
+            for _held, innermost, callee, call in s.calls:
+                if innermost is None:
+                    continue
+                reason = model.blockers.get(callee)
+                if reason is None:
+                    continue
+                findings.append(
+                    self.project_finding(
+                        s.info,
+                        call,
+                        f"call into `{callee}()` may block ({reason}) "
+                        f"while holding `{_pretty(innermost)}`",
+                    )
+                )
+        return _dedup(findings)
+
+
+def _pretty(lock_id: str) -> str:
+    """Strip the synthetic ``path::`` prefix from unresolved ids."""
+    return lock_id.split("::", 1)[1] if "::" in lock_id else lock_id
+
+
+def _dedup(findings: Sequence[Finding]) -> list[Finding]:
+    return sorted(set(findings))
+
+
+# --------------------------------------------------------------------------
+# REP603 — package layering
+# --------------------------------------------------------------------------
+
+#: (source package, forbidden target packages).  The algorithmic core
+#: must stay servable without the serving stack on the path.
+_LAYERING: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("repro.core", ("repro.service", "repro.distributed")),
+    ("repro.kmer", ("repro.service", "repro.distributed")),
+)
+
+
+def _in_pkg(module: str, pkg: str) -> bool:
+    return module == pkg or module.startswith(pkg + ".")
+
+
+@register_rule
+class LayeringViolation(ProjectRule):
+    id = "REP603"
+    name = "layering-violation"
+    rationale = (
+        "The import graph is the architecture: core/kmer importing the "
+        "serving stack (or the analyzer importing repro at load time) "
+        "couples layers that must deploy and import independently."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for edge in project.imports:
+            info = project.modules.get(edge.src)
+            if info is None:
+                continue
+            for src_pkg, forbidden in _LAYERING:
+                if not _in_pkg(edge.src, src_pkg):
+                    continue
+                for dst_pkg in forbidden:
+                    if _in_pkg(edge.dst, dst_pkg):
+                        findings.append(
+                            self.project_finding(
+                                info,
+                                info.tree,
+                                f"`{edge.src}` must not import "
+                                f"`{edge.dst}`: `{src_pkg}` is layered "
+                                f"below `{dst_pkg}`",
+                                line=edge.line,
+                                col=edge.col,
+                            )
+                        )
+            if (
+                _in_pkg(edge.src, "repro.analysis")
+                and not _in_pkg(edge.dst, "repro.analysis")
+                and not edge.lazy
+            ):
+                findings.append(
+                    self.project_finding(
+                        info,
+                        info.tree,
+                        f"`{edge.src}` imports `{edge.dst}` at load "
+                        "time; repro.analysis must stay import-free at "
+                        "load (defer it into the function that needs "
+                        "it)",
+                        line=edge.line,
+                        col=edge.col,
+                    )
+                )
+        return _dedup(findings)
+
+
+# --------------------------------------------------------------------------
+# REP604 — wire-schema drift
+# --------------------------------------------------------------------------
+
+#: Literal schema tags -> contract kind.
+_SCHEMA_LITERALS = {
+    "repro-job/1": "job",
+    "repro-run-report/1": "run-report",
+    "repro-lint-report/1": "lint-report",
+    "repro-lint-baseline/1": "lint-baseline",
+}
+
+#: Constant *names* whose value is a schema tag.
+_SCHEMA_NAMES = {
+    "JOB_SCHEMA_VERSION": "job",
+    "SCHEMA_VERSION": "run-report",
+    "LINT_SCHEMA_VERSION": "lint-report",
+    "BASELINE_SCHEMA": "lint-baseline",
+}
+
+
+@lru_cache(maxsize=None)
+def _contract_keys(kind: str) -> frozenset[str] | None:
+    """Keys the validator for ``kind`` declares (None = unavailable).
+
+    Imported lazily so loading the rule pack keeps repro.analysis
+    import-free at load time (REP603's own requirement).
+    """
+    try:
+        if kind == "job":
+            from ...service.spec import ENVELOPE_KEYS
+
+            return frozenset(("schema", "counts", *ENVELOPE_KEYS))
+        if kind == "run-report":
+            from ...telemetry.report import JSON_SCHEMA
+
+            return frozenset(JSON_SCHEMA.get("properties", {}))
+        if kind == "lint-report":
+            from ..cli import LINT_JSON_SCHEMA
+
+            return frozenset(LINT_JSON_SCHEMA.get("properties", {}))
+    except ImportError:
+        return None
+    if kind == "lint-baseline":
+        return frozenset(("schema", "findings"))
+    return None
+
+
+def _schema_kind(value: ast.AST) -> str | None:
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return _SCHEMA_LITERALS.get(value.value)
+    tag = dotted_name(value)
+    if tag:
+        return _SCHEMA_NAMES.get(tag.rsplit(".", 1)[-1])
+    return None
+
+
+@register_rule
+class WireSchemaDrift(Rule):
+    id = "REP604"
+    name = "wire-schema-drift"
+    rationale = (
+        "A payload built with a key its declared schema does not know "
+        "is silently dropped or rejected at the other end of the wire; "
+        "construction sites must track the validator, mechanically."
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            kind = None
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "schema"
+                ):
+                    kind = _schema_kind(value)
+                    break
+            if kind is None:
+                continue
+            allowed = _contract_keys(kind)
+            if allowed is None:
+                continue
+            for key in node.keys:
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ):
+                    continue
+                if key.value not in allowed:
+                    yield self.finding(
+                        ctx,
+                        key,
+                        f"key {key.value!r} is not declared by the "
+                        f"`{kind}` schema (allowed: "
+                        f"{', '.join(sorted(allowed))})",
+                    )
+
+
+# --------------------------------------------------------------------------
+# REP605 — pickle deserialization requires a trust note
+# --------------------------------------------------------------------------
+
+_PICKLE_LOADS = {"pickle.loads", "pickle.load", "pickle.Unpickler"}
+
+
+@register_rule
+class UnpickleRequiresTrustNote(Rule):
+    id = "REP605"
+    name = "unpickle-requires-trust-note"
+    rationale = (
+        "pickle deserialization executes arbitrary code from the "
+        "payload; every loads site must carry an explicit noqa stating "
+        "which trust boundary (loopback framing, own spill files) "
+        "makes that acceptable."
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _PICKLE_LOADS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}` deserializes executable content — "
+                    "justify the trust boundary with "
+                    "`# repro: noqa[REP605] -- <why>`",
+                )
+
+
+def _iter_rules() -> Iterator[type]:
+    # Keeps linters honest about what this module exports.
+    yield LockOrderInversion
+    yield BlockingCallUnderLock
+    yield LayeringViolation
+    yield WireSchemaDrift
+    yield UnpickleRequiresTrustNote

@@ -72,4 +72,6 @@ def recv_msg(sock: socket.socket) -> object:
             f"framed message of {length} bytes exceeds the "
             f"{MAX_MESSAGE_BYTES}-byte cap (corrupt stream?)"
         )
-    return pickle.loads(_recv_exact(sock, int(length)))
+    return pickle.loads(  # repro: noqa[REP605] -- loopback-only trust: peers are worker processes this parent spawned on 127.0.0.1; docs/distributed.md
+        _recv_exact(sock, int(length))
+    )

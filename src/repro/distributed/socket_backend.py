@@ -153,13 +153,18 @@ class SocketBackend:
             desc = ("call", fn, payload)
         with self._lock:
             live = [w for w in self._workers.values() if not w.dead]
-            if not live:
-                fut.set_exception(
-                    BrokenProcessPool("no live socket workers")
-                )
-                return fut, self.generation
-            worker = live[self._rr % len(live)]
-            self._rr += 1
+            if live:
+                worker = live[self._rr % len(live)]
+                self._rr += 1
+            else:
+                worker = None
+        if worker is None:
+            # Completing the future runs done-callbacks synchronously
+            # (and takes the future's own condition), so it must happen
+            # after the router lock is released — a callback that calls
+            # back into this backend would otherwise self-deadlock.
+            fut.set_exception(BrokenProcessPool("no live socket workers"))
+            return fut, self.generation
         worker.commands.put(("work", desc, fut))
         return fut, self.generation
 

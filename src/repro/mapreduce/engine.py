@@ -76,7 +76,7 @@ class SpilledPartition:
 
     def load(self) -> list[KV]:
         with open(self.path, "rb") as fh:
-            return pickle.load(fh)
+            return pickle.load(fh)  # repro: noqa[REP605] -- same-process trust: reading back a spill file this runtime wrote itself
 
     def delete(self) -> None:
         try:

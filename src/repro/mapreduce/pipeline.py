@@ -140,7 +140,7 @@ class CheckpointStore:
             return None
         try:
             with open(data_path, "rb") as fh:
-                data = pickle.load(fh)
+                data = pickle.load(fh)  # repro: noqa[REP605] -- same-process trust: fingerprint-checked checkpoint this pipeline wrote itself
         except (OSError, pickle.UnpicklingError, EOFError):
             return None
         return data, manifest

@@ -1,0 +1,38 @@
+"""Suite-wide pytest hooks.
+
+Setting ``REPRO_LOCKSAN=1`` activates the runtime lock-order
+sanitizer (:mod:`repro.analysis.locksan`) for the whole session:
+every ``threading.Lock``/``RLock``/``Condition`` constructed by code
+under test records the acquisition DAG and raises on ordering cycles
+or hold-while-blocking.  The sessionfinish hook fails the run even
+when a violation was raised inside a worker thread or swallowed by a
+broad ``except`` in the stack under test — a sanitizer that can be
+silenced by the bug it found is no sanitizer.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _locksan_active() -> bool:
+    return os.environ.get("REPRO_LOCKSAN") == "1"
+
+
+def pytest_configure(config):
+    if _locksan_active():
+        from repro.analysis import locksan
+
+        locksan.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _locksan_active():
+        return
+    from repro.analysis import locksan
+
+    found = locksan.violations()
+    if found:
+        print()
+        print(locksan.render_report(found))
+        session.exitstatus = 1

@@ -208,7 +208,7 @@ def test_shard_router_matches_monolithic_spectrum(reptile_case):
 
 def test_shard_plan_round_trips_through_pickle():
     plan = ShardPlan.for_spectrum(k=13, n_shards=3)
-    assert pickle.loads(pickle.dumps(plan)) == plan
+    assert pickle.loads(pickle.dumps(plan)) == plan  # repro: noqa[REP605] -- round-tripping bytes this test just produced
 
 
 # -- backend registry --------------------------------------------------------
@@ -383,6 +383,36 @@ def test_socket_backend_all_workers_dead_raises_broken_pool():
         future, _gen = backend.submit(wc_mapper, None)
         with pytest.raises((BrokenProcessPool, RuntimeError)):
             future.result(timeout=10)
+    finally:
+        backend.shutdown()
+
+
+def test_submit_completes_future_outside_router_lock(monkeypatch):
+    """Regression (REP602): submit used to call set_exception while
+    holding self._lock; future completion runs done-callbacks inline,
+    so a callback re-entering the backend would self-deadlock."""
+    from repro.distributed import socket_backend as sb
+
+    backend = SocketBackend(workers=1, shards=1)
+    seen = {}
+
+    class ProbeFuture(sb.Future):
+        def set_exception(self, exc):
+            seen["locked_during_completion"] = backend._lock.locked()
+            super().set_exception(exc)
+
+    monkeypatch.setattr(sb, "Future", ProbeFuture)
+    # No live workers and no spawning: submit must take the
+    # no-live-workers path without real subprocesses.
+    monkeypatch.setattr(
+        SocketBackend, "_ensure_started", lambda self: None
+    )
+    try:
+        fut, _gen = backend.submit(wc_mapper, None)
+        assert isinstance(
+            fut.exception(timeout=1), sb.BrokenProcessPool
+        )
+        assert seen == {"locked_during_completion": False}
     finally:
         backend.shutdown()
 

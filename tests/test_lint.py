@@ -180,6 +180,76 @@ def test_cli_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
     assert "baselined" in capsys.readouterr().out
 
 
+def test_cli_update_baseline_prunes_and_adds(tmp_path, capsys, monkeypatch):
+    """--update-baseline regenerates: fixed findings drop out, new
+    ones come in, and the file stays sorted and schema-valid."""
+    root = _write_tree(tmp_path, dirty=True)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--update-baseline", str(root)]) == 0
+    first = Baseline.load(tmp_path / "lint-baseline.json")
+    assert len(first) > 0
+
+    # Fix the random-use finding, introduce a different one.
+    mod = tmp_path / "src" / "repro" / "mod.py"
+    mod.write_text(
+        "import pickle\n"
+        "\n"
+        "def load(blob):\n"
+        "    return pickle.loads(blob)\n"
+    )
+    capsys.readouterr()
+    assert lint_main(["--update-baseline", str(root)]) == 0
+    err = capsys.readouterr().err
+    assert "added" in err and "pruned" in err
+    second = Baseline.load(tmp_path / "lint-baseline.json")
+    assert {e["rule"] for e in second.entries} >= {"REP605"}
+    assert not any(e["rule"] == "REP101" for e in second.entries)
+    # Sorted, reviewable output: entries in Finding sort order.
+    keys = [(e["path"], e["rule"], e["message"]) for e in second.entries]
+    assert keys == sorted(keys)
+    # And the updated baseline actually gates the next run.
+    assert lint_main([str(root)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_update_baseline_fingerprints_stable_across_line_churn(
+    tmp_path, capsys, monkeypatch
+):
+    """Shifting a finding to another line must not change the
+    baseline content — fingerprints are line-insensitive, so an
+    updated baseline produces a byte-identical file after churn."""
+    root = _write_tree(tmp_path, dirty=True)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main(["--update-baseline", str(root)]) == 0
+    before = (tmp_path / "lint-baseline.json").read_bytes()
+
+    mod = tmp_path / "src" / "repro" / "mod.py"
+    mod.write_text("# pushed down\n\n\n" + mod.read_text())
+    capsys.readouterr()
+    assert lint_main(["--update-baseline", str(root)]) == 0
+    assert "0 added, 0 pruned" in capsys.readouterr().err
+    assert (tmp_path / "lint-baseline.json").read_bytes() == before
+
+
+def test_cli_no_project_skips_cross_module_rules(tmp_path, capsys):
+    """REP603 comes from the project pass; --no-project drops it
+    while same-file rules keep firing."""
+    src = tmp_path / "src" / "repro" / "core" / "mod.py"
+    src.parent.mkdir(parents=True)
+    src.write_text(
+        "import random\n"
+        "from repro.service import http\n"
+        "\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    )
+    assert lint_main([str(tmp_path / "src")]) == 1
+    assert "REP603" in capsys.readouterr().out
+    assert lint_main(["--no-project", str(tmp_path / "src")]) == 1
+    out = capsys.readouterr().out
+    assert "REP603" not in out and "REP101" in out
+
+
 # -- the JSON report validates against its own schema -------------------------
 def _json_report(tmp_path, capsys, dirty: bool) -> dict:
     root = _write_tree(tmp_path, dirty=dirty)

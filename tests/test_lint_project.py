@@ -1,0 +1,283 @@
+"""Whole-program pass (repro.analysis.project): ProjectContext
+construction — import graph, load-time closure, symbol index, call
+resolution — and the cross-module behaviour of the REP6xx pack
+through ``lint_paths`` on multi-file trees."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import ProjectContext, ProjectRule, build_project, lint_paths
+from repro.analysis.project import ImportEdge, ModuleInfo
+
+
+def _project(*named_sources: tuple[str, str]) -> ProjectContext:
+    return build_project(
+        [(path, src, ast.parse(src)) for path, src in named_sources]
+    )
+
+
+def _tree(tmp_path, files: dict[str, str]):
+    for rel, src in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(src)
+    return tmp_path / "src"
+
+
+# -- import graph -------------------------------------------------------------
+def test_import_graph_resolves_absolute_and_relative_imports():
+    ctx = _project(
+        (
+            "src/repro/service/http.py",
+            "from repro.core import spectrum\nfrom . import runner\n",
+        ),
+        ("src/repro/service/runner.py", "import repro.kmer.spectrum\n"),
+        ("src/repro/core/spectrum.py", "X = 1\n"),
+        ("src/repro/kmer/spectrum.py", "Y = 2\n"),
+    )
+    assert ctx.import_graph["repro.service.http"] == {
+        "repro.core.spectrum",
+        "repro.service.runner",
+    }
+    assert ctx.import_graph["repro.service.runner"] == {
+        "repro.kmer.spectrum"
+    }
+    # Non-repro imports never appear in the graph.
+    assert all(e.dst.startswith("repro") for e in ctx.imports)
+
+
+def test_lazy_imports_excluded_from_load_graph():
+    ctx = _project(
+        (
+            "src/repro/a.py",
+            "import repro.b\n"
+            "def f():\n"
+            "    import repro.c\n",
+        ),
+        ("src/repro/b.py", "B = 1\n"),
+        ("src/repro/c.py", "C = 1\n"),
+    )
+    assert ctx.import_graph["repro.a"] == {"repro.b", "repro.c"}
+    assert ctx.load_graph["repro.a"] == {"repro.b"}
+    lazy = [e for e in ctx.imports if e.lazy]
+    assert [e.dst for e in lazy] == ["repro.c"]
+
+
+def test_load_imports_closure_is_transitive():
+    ctx = _project(
+        ("src/repro/a.py", "import repro.b\n"),
+        ("src/repro/b.py", "import repro.c\n"),
+        (
+            "src/repro/c.py",
+            "def late():\n    import repro.d\n",
+        ),
+        ("src/repro/d.py", "D = 1\n"),
+    )
+    closure = ctx.load_imports_closure("repro.a")
+    assert closure == {"repro.b", "repro.c"}  # d is lazy: not pulled in
+
+
+def test_from_import_of_symbol_maps_to_defining_module():
+    """``from repro.pkg.mod import name`` where ``name`` is a symbol
+    (not a submodule) resolves to the module that defines it."""
+    ctx = _project(
+        ("src/repro/user.py", "from repro.lib import helper\n"),
+        ("src/repro/lib.py", "def helper():\n    pass\n"),
+    )
+    assert ctx.import_graph["repro.user"] == {"repro.lib"}
+
+
+# -- symbol index and call resolution -----------------------------------------
+def test_symbol_index_qualifies_methods_and_functions():
+    ctx = _project(
+        (
+            "src/repro/mod.py",
+            "def top():\n"
+            "    pass\n"
+            "class Box:\n"
+            "    def get(self):\n"
+            "        pass\n",
+        ),
+    )
+    assert "repro.mod.top" in ctx.functions
+    assert "repro.mod.Box.get" in ctx.functions
+    assert "repro.mod.Box" in ctx.classes
+    assert ctx.by_name["get"] == ["repro.mod.Box.get"]
+
+
+def test_resolve_call_three_modes():
+    src = (
+        "def helper():\n"
+        "    pass\n"
+        "class Box:\n"
+        "    def get(self):\n"
+        "        self.put()\n"
+        "        helper()\n"
+        "    def put(self):\n"
+        "        pass\n"
+        "def use(box):\n"
+        "    box.get()\n"
+    )
+    ctx = _project(("src/repro/mod.py", src))
+    tree = ctx.modules["repro.mod"].tree
+    calls = sorted(
+        (n for n in ast.walk(tree) if isinstance(n, ast.Call)),
+        key=lambda n: n.lineno,
+    )
+    self_put, bare_helper, attr_get = calls
+    assert (
+        ctx.resolve_call(self_put, "repro.mod", "Box")
+        == "repro.mod.Box.put"
+    )
+    assert (
+        ctx.resolve_call(bare_helper, "repro.mod", "Box")
+        == "repro.mod.helper"
+    )
+    # obj.get(): unique project-wide method definition.
+    assert (
+        ctx.resolve_call(attr_get, "repro.mod", None)
+        == "repro.mod.Box.get"
+    )
+
+
+def test_resolve_call_ambiguous_method_is_none():
+    ctx = _project(
+        (
+            "src/repro/mod.py",
+            "class A:\n"
+            "    def get(self):\n"
+            "        pass\n"
+            "class B:\n"
+            "    def get(self):\n"
+            "        pass\n"
+            "def use(x):\n"
+            "    x.get()\n",
+        ),
+    )
+    tree = ctx.modules["repro.mod"].tree
+    call = next(n for n in ast.walk(tree) if isinstance(n, ast.Call))
+    assert ctx.resolve_call(call, "repro.mod", None) is None
+
+
+def test_files_outside_src_repro_are_indexed_but_unnamed():
+    ctx = _project(("tests/test_x.py", "def probe():\n    pass\n"))
+    assert ctx.modules == {}
+    assert "tests/test_x.py.probe" in ctx.functions
+
+
+# -- cross-module REP6xx behaviour through lint_paths -------------------------
+def test_cross_module_lock_order_cycle_detected(tmp_path):
+    """REP601's whole point: each module nests consistently on its
+    own; only the project view sees the inversion."""
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/left.py": (
+                "import threading\n"
+                "from repro.right import Right\n"
+                "class Left:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.peer = Right(self)\n"
+                "    def ping(self):\n"
+                "        with self._lock:\n"
+                "            self.peer.pong_inner()\n"
+                "    def ping_inner(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+            "src/repro/right.py": (
+                "import threading\n"
+                "class Right:\n"
+                "    def __init__(self, peer):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.peer = peer\n"
+                "    def pong(self):\n"
+                "        with self._lock:\n"
+                "            self.peer.ping_inner()\n"
+                "    def pong_inner(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+            ),
+        },
+    )
+    result = lint_paths([root], root=tmp_path)
+    cyclic = [f for f in result.findings if f.rule == "REP601"]
+    assert len(cyclic) == 2  # one per edge of the two-lock cycle
+    assert {f.path for f in cyclic} == {
+        "src/repro/left.py",
+        "src/repro/right.py",
+    }
+    assert all("cycle" in f.message for f in cyclic)
+
+
+def test_cross_module_layering_violation_detected(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/core/alg.py": "from repro.service import http\n",
+            "src/repro/service/http.py": "S = 1\n",
+        },
+    )
+    result = lint_paths([root], root=tmp_path)
+    layered = [f for f in result.findings if f.rule == "REP603"]
+    assert len(layered) == 1
+    assert layered[0].path == "src/repro/core/alg.py"
+
+
+def test_project_findings_respect_noqa_suppression(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "src/repro/core/alg.py": (
+                "from repro.service import http"
+                "  # repro: noqa[REP603] -- transitional shim\n"
+            ),
+            "src/repro/service/http.py": "S = 1\n",
+        },
+    )
+    result = lint_paths([root], root=tmp_path)
+    assert not [f for f in result.findings if f.rule == "REP603"]
+    assert [f for f in result.suppressed if f.rule == "REP603"]
+
+
+def test_project_rule_base_class_contract():
+    class Probe(ProjectRule):
+        id = "REP699"
+        name = "probe"
+        rationale = "exercises the ProjectRule finding helper"
+
+        def check_project(self, project):
+            info = project.files[0]
+            yield self.project_finding(
+                info, info.tree.body[0], "probe message"
+            )
+
+    info = ModuleInfo(
+        path="src/repro/x.py",
+        module="repro.x",
+        source="X = 1\n",
+        tree=ast.parse("X = 1\n"),
+        is_package=False,
+    )
+    rule = Probe()
+    assert list(rule.check(info.tree, info.context())) == []
+    ctx = ProjectContext([info])
+    (finding,) = rule.check_project(ctx)
+    assert (finding.path, finding.line, finding.rule) == (
+        "src/repro/x.py",
+        1,
+        "REP699",
+    )
+
+
+def test_import_edge_records_location():
+    ctx = _project(
+        ("src/repro/a.py", "X = 1\nimport repro.b\n"),
+        ("src/repro/b.py", "B = 1\n"),
+    )
+    (edge,) = ctx.imports
+    assert edge == ImportEdge(
+        src="repro.a", dst="repro.b", line=2, col=1, lazy=False
+    )

@@ -20,6 +20,7 @@ from repro.analysis import all_rules, get_rule, lint_source
 #: uses the neutral default.
 FIXTURE_PATHS: dict[str, str] = {
     "REP204": "src/repro/tools/fake_tool.py",
+    "REP603": "src/repro/core/fake_mod.py",
 }
 _DEFAULT_PATH = "src/repro/fake/mod.py"
 
@@ -252,6 +253,126 @@ FIXTURES: dict[str, tuple[str, str]] = {
             return report["wall_seconds"]
         """,
     ),
+    "REP601": (
+        """
+        import threading
+
+        class Left:
+            def __init__(self, peer):
+                self._lock = threading.Lock()
+                self.peer = peer
+
+            def ping(self):
+                with self._lock:
+                    self.peer.pong_inner()
+
+            def ping_inner(self):
+                with self._lock:
+                    pass
+
+        class Right:
+            def __init__(self, peer):
+                self._lock = threading.Lock()
+                self.peer = peer
+
+            def pong(self):
+                with self._lock:
+                    self.peer.ping_inner()
+
+            def pong_inner(self):
+                with self._lock:
+                    pass
+        """,
+        """
+        import threading
+
+        class Left:
+            def __init__(self, peer):
+                self._lock = threading.Lock()
+                self.peer = peer
+
+            def ping(self):
+                with self._lock:
+                    self.peer.pong_inner()
+
+        class Right:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def pong_inner(self):
+                with self._lock:
+                    pass
+        """,
+    ),
+    "REP602": (
+        """
+        import threading
+
+        class Client:
+            def __init__(self, sock):
+                self._lock = threading.Lock()
+                self._sock = sock
+
+            def call(self, payload):
+                with self._lock:
+                    self._sock.sendall(payload)
+                    return self._sock.recv(65536)
+        """,
+        """
+        import threading
+
+        class Client:
+            def __init__(self, sock):
+                self._lock = threading.Lock()
+                self._sock = sock
+                self._seq = 0
+
+            def call(self, payload):
+                with self._lock:
+                    self._seq += 1
+                    seq = self._seq
+                self._sock.sendall(payload)
+                return seq
+        """,
+    ),
+    "REP603": (
+        """
+        from repro.service import http
+
+        def serve(job):
+            return http.run(job)
+        """,
+        """
+        from repro.seq import fastq
+
+        def load(path):
+            return fastq.read_fastq(path)
+        """,
+    ),
+    "REP604": (
+        """
+        def envelope(job):
+            return {"schema": "repro-job/1", "jobb": job}
+        """,
+        """
+        def envelope(job):
+            return {"schema": "repro-job/1", "job": job}
+        """,
+    ),
+    "REP605": (
+        """
+        import pickle
+
+        def thaw(blob):
+            return pickle.loads(blob)
+        """,
+        """
+        import pickle
+
+        def freeze(obj):
+            return pickle.dumps(obj)
+        """,
+    ),
 }
 
 
@@ -443,3 +564,160 @@ def test_rep204_mode_matrix(call, should_fire):
         src, path="src/repro/service/fake.py", rules=[get_rule("REP204")]
     )
     assert bool(result.findings) == should_fire, call
+
+
+# -- REP6xx edge cases --------------------------------------------------------
+def test_rep601_direct_nesting_inversion_in_one_class():
+    src = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self._a_lock = threading.Lock()
+            self._b_lock = threading.Lock()
+
+        def forward(self):
+            with self._a_lock:
+                with self._b_lock:
+                    pass
+
+        def backward(self):
+            with self._b_lock:
+                with self._a_lock:
+                    pass
+    """
+    findings = _lint("REP601", src)
+    assert len(findings) == 2
+    assert all("cycle" in f.message for f in findings)
+
+
+def test_rep601_reacquiring_nonreentrant_lock_flagged():
+    src = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def get(self):
+            with self._lock:
+                with self._lock:
+                    return 1
+    """
+    findings = _lint("REP601", src)
+    assert len(findings) == 1
+    assert "self-deadlock" in findings[0].message
+
+
+def test_rep601_rlock_reentry_is_fine():
+    src = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.RLock()
+
+        def get(self):
+            with self._lock:
+                with self._lock:
+                    return 1
+    """
+    assert _lint("REP601", src) == []
+
+
+def test_rep602_condition_wait_on_own_lock_is_the_designed_pattern():
+    src = """
+    import threading
+
+    class Latch:
+        def __init__(self):
+            self._cond = threading.Condition()
+
+        def block(self):
+            with self._cond:
+                self._cond.wait()
+    """
+    assert _lint("REP602", src) == []
+
+
+def test_rep602_condition_wait_holding_another_lock_flagged():
+    src = """
+    import threading
+
+    class Latch:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._cond = threading.Condition()
+
+        def block(self):
+            with self._lock:
+                with self._cond:
+                    self._cond.wait()
+    """
+    findings = _lint("REP602", src)
+    assert len(findings) == 1
+    assert "releases only its own lock" in findings[0].message
+
+
+def test_rep602_blocking_propagates_through_resolved_calls():
+    src = """
+    import threading
+
+    class Client:
+        def __init__(self, sock):
+            self._lock = threading.Lock()
+            self._sock = sock
+
+        def _roundtrip(self, payload):
+            self._sock.sendall(payload)
+            return self._sock.recv(65536)
+
+        def call(self, payload):
+            with self._lock:
+                return self._roundtrip(payload)
+    """
+    findings = _lint("REP602", src)
+    assert len(findings) == 1
+    assert "_roundtrip" in findings[0].message
+    assert "may block" in findings[0].message
+
+
+def test_rep603_analysis_load_time_import_flagged_lazy_allowed():
+    eager = "from repro.telemetry import spans\n"
+    result = lint_source(
+        eager, path="src/repro/analysis/fake.py",
+        rules=[get_rule("REP603")],
+    )
+    assert len(result.findings) == 1
+    assert "import-free at load" in result.findings[0].message
+
+    lazy = """
+    def render():
+        from repro.telemetry import spans
+        return spans
+    """
+    result = lint_source(
+        textwrap.dedent(lazy), path="src/repro/analysis/fake.py",
+        rules=[get_rule("REP603")],
+    )
+    assert result.findings == []
+
+
+def test_rep604_unknown_schema_tag_is_ignored():
+    src = """
+    def envelope(job):
+        return {"schema": "somebody-elses/9", "whatever": job}
+    """
+    assert _lint("REP604", src) == []
+
+
+def test_rep604_schema_version_constant_resolves():
+    src = """
+    from repro.service.spec import JOB_SCHEMA_VERSION
+
+    def envelope(job):
+        return {"schema": JOB_SCHEMA_VERSION, "jobb": job}
+    """
+    findings = _lint("REP604", src)
+    assert len(findings) == 1
+    assert "'jobb'" in findings[0].message
